@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each figure/table benchmark runs its experiment driver once at a small
+scale (the sweep structure is identical to the full run; only the trace
+is shorter) and prints the regenerated series, so `pytest benchmarks/
+--benchmark-only` both times the harness and shows the paper-shaped
+output rows.
+"""
+
+import pytest
+
+#: Scale used by the figure benchmarks (multiplies each experiment's
+#: default trace size).  Full-fidelity numbers come from
+#: `python -m repro.experiments <id>` runs recorded in EXPERIMENTS.md.
+BENCH_SCALE = 0.08
+
+
+def run_and_print(benchmark, run_fn, scale=BENCH_SCALE):
+    """Benchmark one experiment driver and print its tables."""
+    results = benchmark.pedantic(run_fn, args=(scale,), iterations=1, rounds=1)
+    for result in results:
+        print()
+        print(result.table_str())
+    return results
+
+
+@pytest.fixture
+def bench_experiment(benchmark):
+    def _run(run_fn, scale=BENCH_SCALE):
+        return run_and_print(benchmark, run_fn, scale)
+
+    return _run

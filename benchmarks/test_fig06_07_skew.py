@@ -1,0 +1,25 @@
+"""Figures 6 and 7 benchmarks: disk access distributions."""
+
+import numpy as np
+
+from repro.experiments.fig06_07_skew import run_fig6, run_fig7
+
+
+def test_fig06_skew_base(benchmark):
+    results = benchmark.pedantic(run_fig6, args=(0.3,), iterations=1, rounds=1)
+    counts = np.array(results[0].series[0].ys)
+    print(results[0].notes)
+    assert len(counts) == 130
+    # Strong, visible skew in the Base organization.
+    assert counts.max() > 2 * np.median(counts)
+
+
+def test_fig07_skew_raid5(benchmark):
+    results = benchmark.pedantic(run_fig7, args=(0.3,), iterations=1, rounds=1)
+    counts = np.array(results[0].series[0].ys)
+    print(results[0].notes)
+    assert len(counts) == 143  # 13 arrays x 11 disks
+    # RAID5 smooths the within-array skew dramatically (Fig. 7 vs 6):
+    # the run_fig7 notes carry both CVs for comparison.
+    base6 = np.array(run_fig6(0.3)[0].series[0].ys)
+    assert counts.std() / counts.mean() < 0.6 * (base6.std() / base6.mean())

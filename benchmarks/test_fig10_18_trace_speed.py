@@ -1,0 +1,21 @@
+"""Figures 10 and 18 benchmarks: trace-speed sweeps."""
+
+from repro.experiments.fig10_trace_speed import run as run_fig10
+from repro.experiments.fig17_19_parity_cache_params import run_fig18
+
+
+def test_fig10_trace_speed_uncached(bench_experiment):
+    results = bench_experiment(run_fig10, scale=0.06)
+    assert len(results) == 2
+    for panel in results:
+        for series in panel.series:
+            # More load, no faster responses: each curve nondecreasing
+            # from 0.5x to 2x within noise.
+            assert series.ys[-1] >= series.ys[0] * 0.9
+
+
+def test_fig18_trace_speed_parity_cache(bench_experiment):
+    results = bench_experiment(run_fig18, scale=0.06)
+    assert len(results) == 2
+    for panel in results:
+        assert {s.label for s in panel.series} == {"RAID5", "RAID4-PC"}

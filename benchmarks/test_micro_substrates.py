@@ -1,0 +1,120 @@
+"""Micro-benchmarks of the substrates.
+
+These time the hot paths that bound the full simulations' wall-clock:
+DES event throughput, disk service, cache operations, layout mapping
+and trace generation.
+"""
+
+import numpy as np
+
+from repro.cache import LRUCache
+from repro.des import Environment
+from repro.disk import AccessKind, Disk, DiskGeometry, DiskRequest, SeekModel
+from repro.layout import Raid5Layout
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+
+def test_des_event_throughput(benchmark):
+    """Ping-pong timeouts: raw kernel event rate."""
+
+    def run():
+        env = Environment()
+
+        def clock(env):
+            for _ in range(20_000):
+                yield env.timeout(1.0)
+
+        env.process(clock(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 20_000.0
+
+
+def test_disk_service_rate(benchmark):
+    """Sequential single-block reads through the full disk model."""
+    geo, sm = DiskGeometry(), SeekModel.fit()
+    rng = np.random.default_rng(1)
+    blocks = rng.integers(0, geo.total_blocks, size=2_000)
+
+    def run():
+        env = Environment()
+        disk = Disk(env, geo, sm)
+
+        def source(env):
+            for b in blocks:
+                req = disk.submit(DiskRequest(AccessKind.READ, int(b)))
+                yield req.done
+
+        env.process(source(env))
+        env.run()
+        return disk.completed
+
+    assert benchmark(run) == 2_000
+
+
+def test_lru_cache_ops(benchmark):
+    """Mixed insert/touch/evict churn on a 4096-slot cache."""
+    rng = np.random.default_rng(2)
+    refs = rng.integers(0, 20_000, size=50_000)
+
+    def run():
+        cache = LRUCache(4096)
+        hits = 0
+        for b in refs:
+            b = int(b)
+            if cache.touch(b):
+                hits += 1
+            else:
+                if cache.free_slots < 1:
+                    cache.evict(cache.lru_block()[0])
+                cache.insert_clean(b)
+        return hits
+
+    assert benchmark(run) > 0
+
+
+def test_raid5_mapping_vectorised(benchmark):
+    """Vectorised logical->physical mapping of a million blocks."""
+    layout = Raid5Layout(10, 221_760, striping_unit=8)
+    lblocks = np.arange(1_000_000, dtype=np.int64) % layout.logical_blocks
+
+    def run():
+        disks, pblocks = layout.map_blocks(lblocks)
+        return int(disks.sum())
+
+    assert benchmark(run) > 0
+
+
+def test_trace_generation_rate(benchmark):
+    """Synthetic generator throughput (requests/second)."""
+    cfg = SyntheticTraceConfig(
+        name="bench",
+        ndisks=10,
+        blocks_per_disk=221_760,
+        n_requests=50_000,
+        duration_ms=1e6,
+        write_fraction=0.25,
+        multiblock_fraction=0.05,
+        multiblock_mean_extra=10.0,
+        max_request_blocks=64,
+        disk_zipf=1.0,
+        hot_spot_fraction=0.02,
+        hot_spot_weight=0.3,
+        sequential_prob=0.1,
+        rehit_prob=0.4,
+        rehit_window=30_000,
+        stack_median=5_000.0,
+        stack_sigma=1.5,
+        write_after_read_prob=0.5,
+        recent_read_window=2_000,
+        burst_rate_multiplier=10.0,
+        burst_fraction=0.3,
+        burst_mean_length=50.0,
+        seed=3,
+    )
+
+    def run():
+        return len(generate_trace(cfg))
+
+    assert benchmark(run) == 50_000

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cache sizing study: hit ratios and response time vs cache size.
+
+Uses the fast cache-only simulator for the hit-ratio sweep (cheap) and
+the full discrete-event simulator for the response-time points,
+mirroring the paper's §4.3 methodology on the Trace-1-like workload.
+
+Run:  python examples/cache_tuning.py [--scale 0.05]
+"""
+
+import argparse
+
+from repro.cache import simulate_hit_ratios
+from repro.sim import Organization, SystemConfig, run_trace
+from repro.trace import generate_trace, slice_arrays, trace1_config
+
+BLOCKS_PER_MB = 256
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    args = parser.parse_args()
+
+    # One 10-disk array's worth of the Trace-1-like workload.
+    full = generate_trace(trace1_config(scale=args.scale))
+    trace = slice_arrays(full, 0, 10)
+    print(f"Workload: {trace}")
+    print()
+
+    print("Hit ratios (fast cache-only simulation, parity organization):")
+    print(f"{'cache MB':>8s} {'read HR':>8s} {'write HR':>9s} {'dirty repl':>10s}")
+    for mb in (8, 16, 32, 64, 128):
+        stats = simulate_hit_ratios(trace, 10, mb * BLOCKS_PER_MB, "parity")
+        print(
+            f"{mb:8d} {stats.read_hit_ratio:8.1%} {stats.write_hit_ratio:9.1%} "
+            f"{stats.dirty_replacements:10d}"
+        )
+    print()
+
+    print("Response time (full simulation, cached RAID5):")
+    print(f"{'cache MB':>8s} {'mean rt':>8s} {'p95 rt':>8s} {'sync wb':>8s}")
+    for mb in (8, 16, 32):
+        config = SystemConfig(
+            organization=Organization.RAID5,
+            n=10,
+            blocks_per_disk=trace.blocks_per_disk,
+            cached=True,
+            cache_mb=float(mb),
+        )
+        res = run_trace(config, trace, keep_samples=True)
+        wb = sum(a.sync_writebacks for a in res.arrays)
+        print(
+            f"{mb:8d} {res.mean_response_ms:8.2f} {res.p95_response_ms:8.2f} {wb:8d}"
+        )
+    print()
+    print("The paper's observation: a 16 MB cache practically eliminates")
+    print("the RAID5 write penalty (response ~1% above Base for Trace 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Media recovery in action: disk failure, degraded service, rebuild.
+
+The paper's whole motivation is media recovery without mirroring's 100%
+storage overhead.  This example fails a disk in a RAID5 array, serves a
+workload in degraded mode, rebuilds onto a hot spare, and reports the
+performance cost at every stage — the effect the paper alludes to in
+§4.2.1 ("worse performance during reconstruction following a disk
+failure").
+
+Run:  python examples/degraded_rebuild.py
+"""
+
+import numpy as np
+
+from repro.array.degraded import DegradedParityController, RebuildProcess
+from repro.channel import Channel
+from repro.des import Environment
+from repro.disk import Disk
+from repro.sim import Organization, SystemConfig, run_trace
+from repro.trace import TRACE_DTYPE, Trace
+
+BPD = 221_760
+N = 5
+USED_BLOCKS = 30_000  # active slice rebuilt per disk
+
+
+def workload(n=4000, seed=13):
+    rng = np.random.default_rng(seed)
+    records = np.empty(n, dtype=TRACE_DTYPE)
+    records["time"] = np.cumsum(rng.exponential(12.0, size=n))
+    records["lblock"] = rng.integers(0, N * BPD, size=n)
+    records["nblocks"] = 1
+    records["is_write"] = rng.random(n) < 0.2
+    return Trace(records, N, BPD, name="recovery-demo")
+
+
+def main():
+    trace = workload()
+    config = SystemConfig(
+        organization=Organization.RAID5, n=N, blocks_per_disk=BPD
+    )
+
+    healthy = run_trace(config, trace, keep_samples=False)
+    print(f"healthy array:      mean rt {healthy.mean_response_ms:6.2f} ms")
+
+    # Same workload with disk 2 failed and a rebuild running.
+    env = Environment()
+    layout = config.make_layout()
+    geometry = config.disk.geometry()
+    seek = config.disk.seek_model()
+    disks = [Disk(env, geometry, seek, name=f"d{i}") for i in range(layout.ndisks)]
+    ctrl = DegradedParityController(
+        env, layout, disks, Channel(env), config, failed_disk=2, spare=True
+    )
+    rebuild = RebuildProcess(ctrl, chunk_blocks=6, used_blocks=USED_BLOCKS)
+
+    times = []
+
+    def source(env):
+        for rec in trace.records:
+            t = float(rec["time"])
+            if t > env.now:
+                yield env.timeout(t - env.now)
+            env.process(one(env, int(rec["lblock"]), bool(rec["is_write"])))
+
+    def one(env, lb, w):
+        t0 = env.now
+        yield from ctrl.handle(lb, 1, w)
+        times.append(env.now - t0)
+
+    env.process(source(env))
+    env.run(until=rebuild.process)
+    env.run(until=env.now + 60_000)
+
+    print(f"during rebuild:     mean rt {np.mean(times):6.2f} ms "
+          f"({ctrl.degraded_reads} degraded reads, "
+          f"{ctrl.degraded_writes} degraded writes)")
+    print(f"rebuild duration:   {rebuild.duration_ms / 1000.0:6.1f} s "
+          f"for {USED_BLOCKS} blocks/disk")
+    print()
+    print("Degraded reads cost a whole-group reconstruction (max over")
+    print(f"{N} surviving arms); the spare absorbs traffic as the")
+    print("watermark advances. Mirrors recover faster but cost 100%")
+    print("extra storage — the paper's central trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Array controllers: the paper's five organizations.
+
+Controllers admit logical I/O requests, translate them through a
+:mod:`repro.layout`, orchestrate disk and channel activity (including
+the parity read-modify-write synchronization policies of §3.3), and for
+cached organizations manage the non-volatile cache, destage and parity
+spooling of §3.4.
+"""
+
+from repro.array.sync import SyncPolicy
+from repro.array.controller import ArrayController
+from repro.array.uncached import (
+    UncachedBaseController,
+    UncachedMirrorController,
+    UncachedParityController,
+)
+from repro.array.cached import CachedController
+
+__all__ = [
+    "ArrayController",
+    "CachedController",
+    "SyncPolicy",
+    "UncachedBaseController",
+    "UncachedMirrorController",
+    "UncachedParityController",
+]

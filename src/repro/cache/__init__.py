@@ -1,0 +1,28 @@
+"""Controller non-volatile cache.
+
+One cache per array (§3.4): LRU-managed 4 KB blocks in non-volatile
+memory.  Read hits cost only channel time; writes complete into the
+cache and a background destage process writes dirty blocks back in
+grouped, progressively-scheduled, low-priority disk accesses.  Parity
+organizations additionally retain the *old* contents of dirtied blocks
+so that destage avoids the old-data read; RAID4 with parity caching
+buffers parity deltas in the same cache and spools them to the dedicated
+parity disk in SCAN order.
+"""
+
+from repro.cache.lru import BlockState, CacheEntry, LRUCache
+from repro.cache.destage import DestageRun, plan_destage_runs
+from repro.cache.paritycache import ParityCacheQueue, ParityDelta
+from repro.cache.fastsim import CacheHitStats, simulate_hit_ratios
+
+__all__ = [
+    "BlockState",
+    "CacheEntry",
+    "CacheHitStats",
+    "DestageRun",
+    "LRUCache",
+    "ParityCacheQueue",
+    "ParityDelta",
+    "plan_destage_runs",
+    "simulate_hit_ratios",
+]

@@ -1,0 +1,13 @@
+"""Host ↔ controller channel and controller track buffers.
+
+Each array has one controller connected to the host by an independent
+10 MB/s channel (Table 1).  Track buffers in the controller decouple the
+disk surface from the channel: a read is staged disk → buffer → channel,
+a write channel → buffer → disk, so a busy channel never costs a disk an
+extra revolution.
+"""
+
+from repro.channel.bus import Channel
+from repro.channel.trackbuffer import TrackBufferPool
+
+__all__ = ["Channel", "TrackBufferPool"]

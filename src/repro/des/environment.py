@@ -1,0 +1,154 @@
+"""The simulation environment: virtual clock and event queue.
+
+The environment owns a binary-heap event queue keyed by
+``(time, sequence)``; the sequence number is a monotonically increasing
+counter, so same-time events are processed in the order they were
+scheduled.  Combined with seeded random number generators this makes every
+simulation run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional, Union
+
+from repro.des.events import Event, Timeout
+from repro.des.process import Process
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Coordinates event scheduling and process execution.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+        Time units are milliseconds throughout this package, but the
+        kernel itself is unit-agnostic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Insert *event* into the queue ``delay`` time units from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.
+
+        Advances the clock, pops the event, runs its callbacks.  If the
+        event failed and no handler defused the failure, the exception is
+        re-raised here so that programming errors inside processes surface
+        instead of being swallowed.
+        """
+        try:
+            self._now, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._exc
+            assert exc is not None
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the event queue is exhausted;
+            a number
+                run until the clock reaches that time (the clock is set to
+                exactly ``until`` on return);
+            an :class:`Event`
+                run until that event has been processed and return its
+                value (re-raising its exception if it failed).
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return None
+
+        if isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:  # already processed
+                return stop.value
+            flag: list[bool] = []
+            stop.callbacks.append(lambda _e: flag.append(True))
+            while not flag:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        f"no more events; {stop!r} never triggered"
+                    ) from None
+            return stop.value
+
+        at = float(until)
+        if at < self._now:
+            raise ValueError(f"until ({at}) must be >= now ({self._now})")
+        while self._queue and self._queue[0][0] <= at:
+            self.step()
+        self._now = at
+        return None
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` triggering ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Launch *generator* as a simulation :class:`Process`."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> Event:
+        """Event triggering once all of *events* have triggered."""
+        from repro.des.events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        """Event triggering once any of *events* has triggered."""
+        from repro.des.events import AnyOf
+
+        return AnyOf(self, events)

@@ -1,0 +1,135 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield``ed event
+suspends the process; when that event triggers, the process resumes with
+the event's value (or the event's exception is thrown into the generator).
+A process is itself an event that triggers when the generator returns, so
+processes can wait for each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.des.events import Event, Interrupt, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """An active simulation entity driven by a generator.
+
+    The process is started immediately: an initialization event is
+    scheduled at the current simulation time, so the generator body begins
+    executing once the environment processes that event (i.e. *not*
+    synchronously inside the constructor).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = getattr(generator, "__name__", "process")
+
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks = [self._resume]
+        env.schedule(init)
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING and self._exc is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process stops waiting on its current target (it may re-yield
+        it to continue waiting) and the ``Interrupt`` exception is raised
+        at the point of the current ``yield``.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._exc = Interrupt(cause)
+        interrupt_ev._defused = True
+        # Detach from the current target so a late trigger does not resume
+        # the process twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        interrupt_ev.callbacks = [self._resume]
+        self.env.schedule(interrupt_ev)
+
+    # -- machinery ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with *event*'s outcome."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The process handles (or propagates) the failure.
+                    event._defused = True
+                    exc = event._exc
+                    assert exc is not None
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as error:
+                self._target = None
+                self._ok = False
+                self._exc = error
+                self._defused = False
+                self.env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                error = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self._target = None
+                self._ok = False
+                self._exc = error
+                self.env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Pending or triggered-but-unprocessed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Already processed: continue synchronously with its outcome.
+            event = next_event
+
+        self.env._active_proc = None
+
+    def __repr__(self) -> str:
+        return f"<Process({self.name}) object at 0x{id(self):x}>"

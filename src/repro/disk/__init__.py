@@ -1,0 +1,24 @@
+"""Disk drive model.
+
+Implements the disk of Table 1 of the paper: a 5400 rpm drive with 1260
+cylinders, 15 platters, 48 sectors of 512 bytes per track (~0.9 GB), an
+11.2 ms average / 28 ms maximal seek, served through a per-disk request
+queue with rotational-position-accurate timing.
+"""
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.disk.request import AccessKind, DiskRequest
+from repro.disk.scheduler import FCFSScheduler, SSTFScheduler, DiskScheduler
+from repro.disk.drive import Disk
+
+__all__ = [
+    "AccessKind",
+    "Disk",
+    "DiskGeometry",
+    "DiskRequest",
+    "DiskScheduler",
+    "FCFSScheduler",
+    "SSTFScheduler",
+    "SeekModel",
+]

@@ -1,0 +1,117 @@
+r"""Seek-time model.
+
+The paper computes seek time as a non-linear function of seek distance
+
+.. math::  t(x) = a\sqrt{x-1} + b(x-1) + c,  \qquad x \ge 1,
+
+with :math:`t(0) = 0`.  The coefficients are calibrated so that the curve
+reproduces Table 1: an *average* seek of 11.2 ms and a *maximal* (full
+stroke) seek of 28 ms.  The square-root term models the acceleration phase
+of the arm, the linear term the coast phase, and :math:`c` the settle time
+(which equals the single-cylinder seek time).
+
+Calibration: given the settle time ``c`` the two remaining coefficients
+are the solution of a 2×2 *linear* system
+
+.. math::
+    a\,E[\sqrt{X-1}] + b\,E[X-1] + c &= t_{avg} \\
+    a\sqrt{X_{max}-1} + b(X_{max}-1) + c &= t_{max}
+
+where the expectation is over the seek-distance distribution of two
+independent uniformly random cylinder positions, conditioned on an actual
+arm movement (:math:`X \ge 1`):
+:math:`P(X{=}x) \propto 2(C-x)/C^2`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SeekModel"]
+
+
+@dataclass(frozen=True)
+class SeekModel:
+    """Seek time curve ``t(x) = a*sqrt(x-1) + b*(x-1) + c`` (ms)."""
+
+    a: float
+    b: float
+    c: float
+    cylinders: int
+
+    @classmethod
+    def fit(
+        cls,
+        cylinders: int = 1260,
+        average_ms: float = 11.2,
+        maximal_ms: float = 28.0,
+        settle_ms: float = 2.0,
+    ) -> "SeekModel":
+        """Calibrate the curve against Table 1's average/maximal seek.
+
+        Parameters
+        ----------
+        cylinders:
+            Number of cylinders ``C``; the maximal seek distance is ``C-1``.
+        average_ms:
+            Mean seek time over random pairs of cylinder positions with an
+            actual movement.
+        maximal_ms:
+            Full-stroke seek time.
+        settle_ms:
+            Single-cylinder seek time ``t(1) = c``.  2 ms is typical for
+            early-1990s 3.5" drives; the paper does not specify it.
+        """
+        if cylinders < 3:
+            raise ValueError("need at least 3 cylinders to fit")
+        if not 0 < settle_ms < average_ms < maximal_ms:
+            raise ValueError("expected 0 < settle < average < maximal")
+        dmax = cylinders - 1
+        d = np.arange(1, cylinders, dtype=np.float64)
+        # Triangular distance distribution of two uniform positions,
+        # conditioned on d >= 1.
+        w = 2.0 * (cylinders - d)
+        w /= w.sum()
+        e_sqrt = float(np.sum(w * np.sqrt(d - 1.0)))
+        e_lin = float(np.sum(w * (d - 1.0)))
+        # Solve [[e_sqrt, e_lin], [sqrt(dmax-1), dmax-1]] @ [a, b] = rhs.
+        mat = np.array([[e_sqrt, e_lin], [math.sqrt(dmax - 1.0), dmax - 1.0]])
+        rhs = np.array([average_ms - settle_ms, maximal_ms - settle_ms])
+        a, b = np.linalg.solve(mat, rhs)
+        if a < 0 or b < 0:
+            raise ValueError(
+                f"non-monotonic fit (a={a:.4g}, b={b:.4g}); "
+                "choose a different settle time"
+            )
+        return cls(a=float(a), b=float(b), c=settle_ms, cylinders=cylinders)
+
+    def seek_time(self, distance: int | float) -> float:
+        """Seek time in ms for a move of ``distance`` cylinders (0 → 0 ms)."""
+        if distance < 0:
+            raise ValueError(f"negative seek distance {distance}")
+        if distance == 0:
+            return 0.0
+        x = float(distance)
+        return self.a * math.sqrt(x - 1.0) + self.b * (x - 1.0) + self.c
+
+    def seek_times(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`seek_time` (distance 0 → 0 ms)."""
+        x = np.asarray(distances, dtype=np.float64)
+        if np.any(x < 0):
+            raise ValueError("negative seek distance")
+        out = self.a * np.sqrt(np.maximum(x - 1.0, 0.0)) + self.b * np.maximum(x - 1.0, 0.0) + self.c
+        return np.where(x == 0, 0.0, out)
+
+    def average_seek_time(self) -> float:
+        """Mean seek time under the calibration distance distribution."""
+        d = np.arange(1, self.cylinders, dtype=np.float64)
+        w = 2.0 * (self.cylinders - d)
+        w /= w.sum()
+        return float(np.sum(w * self.seek_times(d)))
+
+    def max_seek_time(self) -> float:
+        """Full-stroke seek time."""
+        return self.seek_time(self.cylinders - 1)

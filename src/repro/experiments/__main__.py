@@ -1,0 +1,73 @@
+"""Command-line entry point for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig5 [fig8 ...] [--scale 0.5] [--json out.json]
+    python -m repro.experiments all --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (or 'all')")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply the default trace sizes (smaller = faster)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--json", metavar="PATH", help="also dump results as JSON")
+    parser.add_argument(
+        "--plot", action="store_true", help="render each figure as an ASCII chart"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.ids:
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.exp_id:8s} {'$' * exp.cost:4s} {exp.title}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    collected = []
+    for exp_id in ids:
+        exp = get_experiment(exp_id)
+        t0 = time.time()
+        results = exp.run(args.scale)
+        elapsed = time.time() - t0
+        for result in results:
+            print(result.table_str())
+            print()
+            if args.plot:
+                from repro.experiments.ascii_plot import render_chart
+
+                print(render_chart(result))
+                print()
+            collected.append(result.to_dict())
+        print(f"[{exp.exp_id} done in {elapsed:.1f} s]")
+        print()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

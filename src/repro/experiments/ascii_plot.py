@@ -1,0 +1,97 @@
+"""ASCII rendering of experiment results.
+
+The offline environment has no plotting library, so the experiment CLI
+can render each figure as a terminal chart: one mark per series, a
+y-axis in the measured unit, series markers labelled in a legend.
+Pure-stdlib, deterministic, and good enough to *see* the crossovers the
+paper's figures show (e.g. RAID5 dipping under Base as N grows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["render_chart"]
+
+MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:8.0f}"
+    return f"{value:8.2f}"
+
+
+def render_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 16,
+    logx: Optional[bool] = None,
+) -> str:
+    """Render an :class:`ExperimentResult` as an ASCII chart.
+
+    Numeric x-values are spread along the width (log-spaced when the
+    range exceeds a decade, e.g. cache sizes and striping units);
+    categorical x-values are evenly spaced.  Overlapping points show
+    the marker of the later series.
+    """
+    if not result.series:
+        return f"{result.exp_id}: (no series)"
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to render")
+
+    xs_raw = result.series[0].xs
+    numeric = all(isinstance(x, (int, float)) for x in xs_raw)
+    if numeric:
+        xvals = [float(x) for x in xs_raw]
+        if logx is None:
+            logx = min(xvals) > 0 and max(xvals) / max(min(xvals), 1e-12) > 10.0
+        pos_src = [math.log(x) if logx else x for x in xvals]
+    else:
+        pos_src = list(range(len(xs_raw)))
+        logx = False
+    lo_x, hi_x = min(pos_src), max(pos_src)
+    span_x = (hi_x - lo_x) or 1.0
+
+    ys_all = [y for s in result.series for y in s.ys if y == y]  # drop NaN
+    if not ys_all:
+        return f"{result.exp_id}: (no data)"
+    lo_y, hi_y = min(ys_all), max(ys_all)
+    if lo_y == hi_y:
+        lo_y, hi_y = lo_y - 1.0, hi_y + 1.0
+    pad = 0.05 * (hi_y - lo_y)
+    lo_y -= pad
+    hi_y += pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, series in enumerate(result.series):
+        marker = MARKERS[si % len(MARKERS)]
+        for x, y in zip(pos_src, series.ys):
+            if y != y:
+                continue
+            col = int(round((x - lo_x) / span_x * (width - 1)))
+            row = int(round((hi_y - y) / (hi_y - lo_y) * (height - 1)))
+            grid[row][col] = marker
+
+    lines = [f"{result.exp_id}: {result.title}"]
+    for r, row in enumerate(grid):
+        yval = hi_y - r * (hi_y - lo_y) / (height - 1)
+        axis = _format_tick(yval) if r % 3 == 0 else " " * 8
+        lines.append(f"{axis} |{''.join(row)}|")
+    lines.append(" " * 8 + "+" + "-" * width + "+")
+    left = str(xs_raw[0])
+    right = str(xs_raw[-1])
+    gap = width - len(left) - len(right)
+    lines.append(
+        " " * 9 + left + " " * max(gap, 1) + right
+        + ("   (log x)" if logx else "")
+    )
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {s.label}" for i, s in enumerate(result.series)
+    )
+    lines.append(" " * 9 + f"x: {result.xlabel}   y: {result.ylabel}")
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

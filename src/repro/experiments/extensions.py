@@ -1,0 +1,250 @@
+"""Extension experiments beyond the paper's figures.
+
+These exercise the features the paper mentions but does not evaluate:
+
+* ``ext-rebuild`` — degraded-mode and rebuild performance vs array size
+  (the §4.2.1 remark that "large arrays... have worse performance
+  during reconstruction").
+* ``ext-destage`` — the §3.4 destage-policy comparison (periodic vs
+  basic LRU write-back) plus the decoupled policy the paper proposes.
+* ``ext-parity-grain`` — the conclusions' future-work item: a finer
+  grain for the parity in Parity Striping, to balance the parity
+  update load while preserving data seek affinity.
+* ``ext-spindle`` — spindle synchronization on/off ("no spindle
+  synchronization is assumed"): what the assumption is worth.
+* ``ext-scheduler`` — FCFS vs SSTF per-disk queue disciplines.
+"""
+
+from __future__ import annotations
+
+from repro.array.degraded import DegradedParityController, RebuildProcess
+from repro.channel import Channel
+from repro.des import Environment
+from repro.disk.drive import Disk
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    get_trace,
+    make_config,
+    response_time,
+)
+from repro.sim import run_trace
+
+__all__ = [
+    "run_rebuild",
+    "run_destage_policies",
+    "run_parity_grain",
+    "run_spindle_sync",
+    "run_scheduler",
+    "run_reliability",
+]
+
+
+def run_reliability(scale: float = 1.0) -> list[ExperimentResult]:
+    """The introduction's reliability/cost trade-off as a table.
+
+    MTTDL (mean time to data loss) and storage overhead for the Trace-1
+    system (130 data disks) under each organization — the numbers that
+    motivate redundant arrays over both raw disks and mirrors.
+    """
+    from repro.models import ReliabilityModel, storage_overhead
+
+    model = ReliabilityModel(disk_mttf_hours=100_000.0, mttr_hours=24.0)
+    orgs = ["base", "mirror", "raid5", "parity_striping"]
+    mttdl_years = [
+        model.system_mttdl(org, 130, 10) / (24.0 * 365.0) for org in orgs
+    ]
+    overhead = [100.0 * storage_overhead(org, 10) for org in orgs]
+    return [
+        ExperimentResult(
+            exp_id="ext-reliability",
+            title="MTTDL and storage overhead, 130 data disks, N = 10",
+            xlabel="organization",
+            ylabel="MTTDL (years) / overhead (%)",
+            series=[
+                Series("MTTDL_years", orgs, mttdl_years),
+                Series("overhead_pct", orgs, overhead),
+            ],
+            notes=(
+                f"intro check: first failure among 150 disks every "
+                f"{model.paper_intro_check(150):.1f} days (paper: < 28)"
+            ),
+        )
+    ]
+
+
+def run_rebuild(scale: float = 1.0) -> list[ExperimentResult]:
+    """Degraded and rebuilding RAID5 arrays vs array size (Trace 2)."""
+    sizes = [5, 10, 15]
+    healthy, degraded, rebuild_ms = [], [], []
+    for n in sizes:
+        trace = get_trace(2, scale * 0.5, n=n)
+        cfg = make_config("raid5", trace, n=n)
+
+        healthy.append(run_trace(cfg, trace, keep_samples=False).mean_response_ms)
+
+        # Degraded + rebuilding run: one array, failed disk 0, hot spare.
+        env = Environment()
+        layout = cfg.make_layout()
+        geometry = cfg.disk.geometry(cfg.block_bytes)
+        seek = cfg.disk.seek_model()
+        disks = [
+            Disk(env, geometry, seek, name=f"d{i}") for i in range(layout.ndisks)
+        ]
+        ctrl = DegradedParityController(
+            env, disks=disks, layout=layout, channel=Channel(env), config=cfg,
+            failed_disk=0, spare=True,
+        )
+        # Rebuild only the active slice to keep runtimes proportional.
+        used = min(layout.blocks_per_disk, 40_000)
+        rebuild = RebuildProcess(ctrl, chunk_blocks=6, used_blocks=used)
+
+        times = []
+
+        def source(env, trace=trace, ctrl=ctrl, times=times):
+            per_array = ctrl.layout.logical_blocks
+            for rec in trace.records:
+                t = float(rec["time"])
+                if t > env.now:
+                    yield env.timeout(t - env.now)
+                env.process(
+                    one(env, int(rec["lblock"]) % per_array, int(rec["nblocks"]),
+                        bool(rec["is_write"]))
+                )
+
+        def one(env, lb, k, w, ctrl=ctrl, times=times):
+            t0 = env.now
+            yield from ctrl.handle(lb, min(k, 16), w)
+            times.append(env.now - t0)
+
+        env.process(source(env))
+        env.run(until=rebuild.process)
+        env.run(until=env.now + 120_000.0)
+        degraded.append(sum(times) / max(len(times), 1))
+        rebuild_ms.append(rebuild.duration_ms or float("nan"))
+
+    return [
+        ExperimentResult(
+            exp_id="ext-rebuild",
+            title="RAID5 degraded-mode response and rebuild time vs N (Trace 2)",
+            xlabel="array size N",
+            ylabel="ms",
+            series=[
+                Series("healthy rt", sizes, healthy),
+                Series("during rebuild rt", sizes, degraded),
+                Series("rebuild duration/1000", sizes, [r / 1000.0 for r in rebuild_ms]),
+            ],
+            notes="rebuild sweeps a fixed 40k-block slice per disk",
+        )
+    ]
+
+
+def run_destage_policies(scale: float = 1.0) -> list[ExperimentResult]:
+    """Periodic vs basic-LRU vs decoupled write-back (§3.4)."""
+    results = []
+    for which in (1, 2):
+        trace = get_trace(which, scale)
+        series = []
+        for policy in ("periodic", "lru_demand", "decoupled"):
+            ys = []
+            for mb in (8, 16, 32):
+                res = response_time(
+                    "raid5", trace, cached=True, cache_mb=mb, destage_policy=policy
+                )
+                ys.append(res.mean_response_ms)
+            series.append(Series(policy, [8, 16, 32], ys))
+        results.append(
+            ExperimentResult(
+                exp_id="ext-destage",
+                title=f"Destage policies, cached RAID5, Trace {which}",
+                xlabel="cache size (MB)",
+                ylabel="mean response time (ms)",
+                series=series,
+                notes="paper: periodic always beats the basic LRU policy",
+            )
+        )
+    return results
+
+
+def run_parity_grain(scale: float = 1.0) -> list[ExperimentResult]:
+    """Fine-grained Parity Striping vs classic vs RAID5 (future work)."""
+    results = []
+    for which in (1, 2):
+        trace = get_trace(which, scale)
+        labels_ys = []
+        for label, overrides in (
+            ("ParStripe classic", dict()),
+            ("ParStripe grain=1", dict(parity_grain=1)),
+            ("ParStripe grain=8", dict(parity_grain=8)),
+        ):
+            res = response_time("parity_striping", trace, **overrides)
+            labels_ys.append((label, res.mean_response_ms))
+        labels_ys.append(
+            ("RAID5 su=1", response_time("raid5", trace).mean_response_ms)
+        )
+        results.append(
+            ExperimentResult(
+                exp_id="ext-parity-grain",
+                title=f"Fine-grained parity striping, Trace {which}",
+                xlabel="organization",
+                ylabel="mean response time (ms)",
+                series=[
+                    Series(
+                        "response",
+                        [l for l, _ in labels_ys],
+                        [y for _, y in labels_ys],
+                    )
+                ],
+                notes="grain spreads parity-update load while data stays sequential",
+            )
+        )
+    return results
+
+
+def run_spindle_sync(scale: float = 1.0) -> list[ExperimentResult]:
+    """Spindle synchronization on/off for Mirror and RAID5."""
+    results = []
+    for which in (1, 2):
+        trace = get_trace(which, scale)
+        series = []
+        for org in ("mirror", "raid5"):
+            ys = [
+                response_time(org, trace, spindle_sync=sync).mean_response_ms
+                for sync in (False, True)
+            ]
+            series.append(Series(org, ["unsynced", "synced"], ys))
+        results.append(
+            ExperimentResult(
+                exp_id="ext-spindle",
+                title=f"Spindle synchronization, Trace {which}",
+                xlabel="spindles",
+                ylabel="mean response time (ms)",
+                series=series,
+                notes="the paper assumes unsynchronized spindles",
+            )
+        )
+    return results
+
+
+def run_scheduler(scale: float = 1.0) -> list[ExperimentResult]:
+    """FCFS vs SSTF per-disk scheduling across organizations."""
+    results = []
+    for which in (1, 2):
+        trace = get_trace(which, scale)
+        series = []
+        for org in ("base", "raid5"):
+            ys = [
+                response_time(org, trace, disk_scheduler=s).mean_response_ms
+                for s in ("fcfs", "sstf")
+            ]
+            series.append(Series(org, ["fcfs", "sstf"], ys))
+        results.append(
+            ExperimentResult(
+                exp_id="ext-scheduler",
+                title=f"Disk queue discipline, Trace {which}",
+                xlabel="discipline",
+                ylabel="mean response time (ms)",
+                series=series,
+            )
+        )
+    return results

@@ -1,0 +1,41 @@
+"""Figure 4: response time of the synchronization policies vs array size.
+
+Panels: {RAID5, Parity Striping} × {Trace 1, Trace 2}; one curve per
+policy (SI, RF, RF/PR, DF, DF/PR) over N ∈ {5, 10, 15, 20}.
+
+Expected shape: SI clearly worst (parity disk held spinning); DF below
+RF; the /PR variants best; all gaps narrowing as N grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+
+__all__ = ["run"]
+
+POLICIES = ["SI", "RF", "RF/PR", "DF", "DF/PR"]
+SIZES = [5, 10, 15, 20]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which in (1, 2):
+        for org, org_label in (("raid5", "RAID5"), ("parity_striping", "ParStripe")):
+            series = []
+            for policy in POLICIES:
+                ys = []
+                for n in SIZES:
+                    trace = get_trace(which, scale, n=n)
+                    res = response_time(org, trace, n=n, sync_policy=policy)
+                    ys.append(res.mean_response_ms)
+                series.append(Series(policy, SIZES, ys))
+            results.append(
+                ExperimentResult(
+                    exp_id="fig4",
+                    title=f"Sync policies, {org_label}, Trace {which}",
+                    xlabel="array size N",
+                    ylabel="mean response time (ms)",
+                    series=series,
+                )
+            )
+    return results

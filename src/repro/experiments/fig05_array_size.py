@@ -1,0 +1,46 @@
+"""Figure 5: response time vs array size, non-cached organizations.
+
+One panel per trace; curves for Base, Mirror, RAID5, Parity Striping
+over N ∈ {5, 10, 15, 20}.
+
+Expected shape (§4.2): Mirror below Base everywhere; Trace 1: RAID5
+noticeably above Base (write penalty) and Parity Striping worst at
+small N; Trace 2 (high skew): RAID5 below Base, Parity Striping above.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+
+__all__ = ["run", "ORGS", "SIZES"]
+
+ORGS = [
+    ("base", "Base"),
+    ("mirror", "Mirror"),
+    ("raid5", "RAID5"),
+    ("parity_striping", "ParStripe"),
+]
+SIZES = [5, 10, 15, 20]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which in (1, 2):
+        series = []
+        for org, label in ORGS:
+            ys = []
+            for n in SIZES:
+                trace = get_trace(which, scale, n=n)
+                res = response_time(org, trace, n=n)
+                ys.append(res.mean_response_ms)
+            series.append(Series(label, SIZES, ys))
+        results.append(
+            ExperimentResult(
+                exp_id="fig5",
+                title=f"Response time vs array size (uncached), Trace {which}",
+                xlabel="array size N",
+                ylabel="mean response time (ms)",
+                series=series,
+            )
+        )
+    return results

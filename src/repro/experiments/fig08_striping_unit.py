@@ -1,0 +1,34 @@
+"""Figure 8: response time vs RAID5 striping unit (non-cached, N = 10).
+
+Expected shape (§4.2.2): Trace 1 optimal around 8 blocks with little
+difference from 1 to 16, degrading from 32 up; Trace 2 optimal at
+1 block (load balancing dominates), degrading steadily with size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+
+__all__ = ["run", "UNITS"]
+
+UNITS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which in (1, 2):
+        trace = get_trace(which, scale)
+        ys = [
+            response_time("raid5", trace, striping_unit=su).mean_response_ms
+            for su in UNITS
+        ]
+        results.append(
+            ExperimentResult(
+                exp_id="fig8",
+                title=f"RAID5 striping unit (uncached), Trace {which}",
+                xlabel="striping unit (blocks)",
+                ylabel="mean response time (ms)",
+                series=[Series("RAID5", UNITS, ys)],
+            )
+        )
+    return results

@@ -1,0 +1,45 @@
+"""Figure 9: Parity Striping parity placement (middle vs end cylinders).
+
+§4.2.3 derives the rule: the parity area is hotter than a data area iff
+``w > 1/N``; for Trace 1 (w ≈ 0.1) the cutoff is N = 10 — middle
+placement should win for large N and lose for small N.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.layout import ParityPlacement
+from repro.models import preferred_placement
+
+__all__ = ["run", "SIZES"]
+
+SIZES = [5, 10, 15, 20]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which, wfrac in ((1, 0.10), (2, 0.28)):
+        series = []
+        for placement in (ParityPlacement.MIDDLE, ParityPlacement.END):
+            ys = []
+            for n in SIZES:
+                trace = get_trace(which, scale, n=n)
+                res = response_time(
+                    "parity_striping", trace, n=n, parity_placement=placement
+                )
+                ys.append(res.mean_response_ms)
+            series.append(Series(placement.value, SIZES, ys))
+        rule = ", ".join(
+            f"N={n}:{preferred_placement(n, wfrac).value}" for n in SIZES
+        )
+        results.append(
+            ExperimentResult(
+                exp_id="fig9",
+                title=f"Parity placement, Parity Striping, Trace {which}",
+                xlabel="array size N",
+                ylabel="mean response time (ms)",
+                series=series,
+                notes=f"w>1/N rule predicts: {rule}",
+            )
+        )
+    return results

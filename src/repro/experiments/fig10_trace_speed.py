@@ -1,0 +1,37 @@
+"""Figure 10: response time vs trace speed (non-cached, N = 10).
+
+§4.2.4: RAID5 degrades gracefully with load and does better than
+mirrors at 2×; Parity Striping (and to a lesser degree Base) degrade
+severely; at 0.5× with little queueing Base beats RAID5 on Trace 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.fig05_array_size import ORGS
+
+__all__ = ["run", "SPEEDS"]
+
+SPEEDS = [0.5, 1.0, 2.0]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which in (1, 2):
+        series = []
+        for org, label in ORGS:
+            ys = []
+            for speed in SPEEDS:
+                trace = get_trace(which, scale, speed=speed)
+                ys.append(response_time(org, trace).mean_response_ms)
+            series.append(Series(label, SPEEDS, ys))
+        results.append(
+            ExperimentResult(
+                exp_id="fig10",
+                title=f"Response time vs trace speed (uncached), Trace {which}",
+                xlabel="trace speed",
+                ylabel="mean response time (ms)",
+                series=series,
+            )
+        )
+    return results

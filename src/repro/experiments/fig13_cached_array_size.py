@@ -1,0 +1,39 @@
+"""Figure 13: array size with a fixed *total* cache budget (cached).
+
+(N, per-array cache) ∈ {(5, 8 MB), (10, 16 MB), (15, 24 MB)} — the
+total cache is constant, so the question is partitioned-vs-shared
+caches combined with arm counts and load balancing (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.fig05_array_size import ORGS
+
+__all__ = ["run", "POINTS"]
+
+POINTS = [(5, 8.0), (10, 16.0), (15, 24.0)]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    xs = [n for n, _ in POINTS]
+    for which in (1, 2):
+        series = []
+        for org, label in ORGS:
+            ys = []
+            for n, cache_mb in POINTS:
+                trace = get_trace(which, scale, n=n)
+                res = response_time(org, trace, n=n, cached=True, cache_mb=cache_mb)
+                ys.append(res.mean_response_ms)
+            series.append(Series(label, xs, ys))
+        results.append(
+            ExperimentResult(
+                exp_id="fig13",
+                title=f"Array size at fixed total cache (cached), Trace {which}",
+                xlabel="array size N (cache = 1.6 MB x N per array)",
+                ylabel="mean response time (ms)",
+                series=series,
+            )
+        )
+    return results

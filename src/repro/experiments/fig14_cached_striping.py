@@ -1,0 +1,35 @@
+"""Figure 14: striping unit for the *cached* RAID5 organization.
+
+§4.3.3: the cached array runs at lighter disk load, so larger striping
+units become attractive — the Trace 1 optimum moves to ~16 blocks
+(vs 8 uncached); Trace 2's optimum stays at 1 block (low hit ratio).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.fig08_striping_unit import UNITS
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which in (1, 2):
+        trace = get_trace(which, scale)
+        ys = [
+            response_time(
+                "raid5", trace, striping_unit=su, cached=True
+            ).mean_response_ms
+            for su in UNITS
+        ]
+        results.append(
+            ExperimentResult(
+                exp_id="fig14",
+                title=f"RAID5 striping unit (cached, 16 MB), Trace {which}",
+                xlabel="striping unit (blocks)",
+                ylabel="mean response time (ms)",
+                series=[Series("RAID5 cached", UNITS, ys)],
+            )
+        )
+    return results

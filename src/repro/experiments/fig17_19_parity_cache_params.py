@@ -1,0 +1,96 @@
+"""Figures 17-19: RAID4 parity caching vs RAID5 across parameters.
+
+Figure 17 — array size at fixed total cache ((5, 8 MB), (10, 16 MB),
+(20, 32 MB)): dedicating a disk to parity does not pay at N = 5 (fewer
+arms for reads) but wins from N = 10 up, the gap widening with N.
+
+Figure 18 — trace speed: RAID4-PC's advantage grows with load; the
+buffered parity disk keeps up even at 2×.
+
+Figure 19 — striping unit (cached): U-shaped curves; Trace 2's optimum
+at a smaller unit than Trace 1's because its disks run busier.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.fig08_striping_unit import UNITS
+
+__all__ = ["run_fig17", "run_fig18", "run_fig19"]
+
+PAIR = (("raid5", "RAID5"), ("raid4", "RAID4-PC"))
+FIG17_POINTS = [(5, 8.0), (10, 16.0), (20, 32.0)]
+SPEEDS = [0.5, 1.0, 2.0]
+
+
+def run_fig17(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    xs = [n for n, _ in FIG17_POINTS]
+    for which in (1, 2):
+        series = []
+        for org, label in PAIR:
+            ys = []
+            for n, cache_mb in FIG17_POINTS:
+                trace = get_trace(which, scale, n=n)
+                res = response_time(org, trace, n=n, cached=True, cache_mb=cache_mb)
+                ys.append(res.mean_response_ms)
+            series.append(Series(label, xs, ys))
+        results.append(
+            ExperimentResult(
+                exp_id="fig17",
+                title=f"RAID4-PC vs RAID5 across array sizes, Trace {which}",
+                xlabel="array size N (cache = 1.6 MB x N)",
+                ylabel="mean response time (ms)",
+                series=series,
+            )
+        )
+    return results
+
+
+def run_fig18(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which in (1, 2):
+        series = []
+        for org, label in PAIR:
+            ys = []
+            for speed in SPEEDS:
+                trace = get_trace(which, scale, speed=speed)
+                ys.append(
+                    response_time(org, trace, cached=True).mean_response_ms
+                )
+            series.append(Series(label, SPEEDS, ys))
+        results.append(
+            ExperimentResult(
+                exp_id="fig18",
+                title=f"RAID4-PC vs RAID5 across trace speeds, Trace {which}",
+                xlabel="trace speed",
+                ylabel="mean response time (ms)",
+                series=series,
+            )
+        )
+    return results
+
+
+def run_fig19(scale: float = 1.0) -> list[ExperimentResult]:
+    results = []
+    for which in (1, 2):
+        trace = get_trace(which, scale)
+        series = []
+        for org, label in PAIR:
+            ys = [
+                response_time(
+                    org, trace, striping_unit=su, cached=True
+                ).mean_response_ms
+                for su in UNITS
+            ]
+            series.append(Series(label, UNITS, ys))
+        results.append(
+            ExperimentResult(
+                exp_id="fig19",
+                title=f"Striping unit (cached), RAID4-PC and RAID5, Trace {which}",
+                xlabel="striping unit (blocks)",
+                ylabel="mean response time (ms)",
+                series=series,
+            )
+        )
+    return results

@@ -1,0 +1,91 @@
+"""Registry of all experiments (one per paper table/figure).
+
+Every entry maps an experiment id to a callable
+``run(scale: float) -> list[ExperimentResult]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import tables
+from repro.experiments import fig04_sync
+from repro.experiments import fig05_array_size
+from repro.experiments import fig06_07_skew
+from repro.experiments import fig08_striping_unit
+from repro.experiments import fig09_parity_placement
+from repro.experiments import fig10_trace_speed
+from repro.experiments import fig11_hit_ratios
+from repro.experiments import fig12_cache_size
+from repro.experiments import fig13_cached_array_size
+from repro.experiments import fig14_cached_striping
+from repro.experiments import fig15_16_parity_cache
+from repro.experiments import fig17_19_parity_cache_params
+from repro.experiments import extensions
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable paper artifact."""
+
+    exp_id: str
+    title: str
+    run: Callable[[float], list[ExperimentResult]]
+    #: Rough relative cost (1 = seconds, 3 = minutes at default scale).
+    cost: int = 2
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.exp_id: e
+    for e in [
+        Experiment("table1", "Disk and channel parameters", tables.table1, cost=1),
+        Experiment("table2", "Trace characteristics", tables.table2, cost=1),
+        Experiment("table3", "Organization matrix smoke", tables.table3, cost=2),
+        Experiment("table4", "Default parameters", tables.table4, cost=1),
+        Experiment("fig4", "Synchronization policies vs N", fig04_sync.run, cost=3),
+        Experiment("fig5", "Array size, uncached orgs", fig05_array_size.run, cost=3),
+        Experiment("fig6", "Disk access skew, Base", fig06_07_skew.run_fig6, cost=1),
+        Experiment("fig7", "Disk access skew, RAID5", fig06_07_skew.run_fig7, cost=1),
+        Experiment("fig8", "Striping unit, uncached RAID5", fig08_striping_unit.run, cost=2),
+        Experiment("fig9", "Parity placement, ParStripe", fig09_parity_placement.run, cost=3),
+        Experiment("fig10", "Trace speed, uncached orgs", fig10_trace_speed.run, cost=3),
+        Experiment("fig11", "Hit ratios vs cache size", fig11_hit_ratios.run, cost=2),
+        Experiment("fig12", "Cache size, cached orgs", fig12_cache_size.run, cost=3),
+        Experiment("fig13", "Array size, fixed total cache", fig13_cached_array_size.run, cost=3),
+        Experiment("fig14", "Striping unit, cached RAID5", fig14_cached_striping.run, cost=2),
+        Experiment("fig15", "Hit ratios, RAID4-PC vs RAID5", fig15_16_parity_cache.run_fig15, cost=2),
+        Experiment("fig16", "Cache size, RAID4-PC vs RAID5", fig15_16_parity_cache.run_fig16, cost=2),
+        Experiment("fig17", "Array size, RAID4-PC vs RAID5", fig17_19_parity_cache_params.run_fig17, cost=3),
+        Experiment("fig18", "Trace speed, RAID4-PC vs RAID5", fig17_19_parity_cache_params.run_fig18, cost=3),
+        Experiment("fig19", "Striping unit, RAID4-PC vs RAID5", fig17_19_parity_cache_params.run_fig19, cost=3),
+        # Extensions beyond the paper's figures.
+        Experiment("ext-rebuild", "Degraded mode + rebuild vs N", extensions.run_rebuild, cost=3),
+        Experiment("ext-destage", "Destage policy comparison", extensions.run_destage_policies, cost=3),
+        Experiment("ext-parity-grain", "Fine-grained parity striping", extensions.run_parity_grain, cost=2),
+        Experiment("ext-spindle", "Spindle synchronization", extensions.run_spindle_sync, cost=2),
+        Experiment("ext-scheduler", "FCFS vs SSTF disk scheduling", extensions.run_scheduler, cost=2),
+        Experiment("ext-reliability", "MTTDL / storage overhead", extensions.run_reliability, cost=1),
+    ]
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment by id (accepts e.g. 'fig05' for 'fig5')."""
+    key = exp_id.lower().strip()
+    if key not in EXPERIMENTS and key.startswith("fig"):
+        key = "fig" + key[3:].lstrip("0")
+    try:
+        return EXPERIMENTS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(exp_id: str, scale: float = 1.0) -> list[ExperimentResult]:
+    """Run one experiment and return its results."""
+    return get_experiment(exp_id).run(scale)

@@ -1,0 +1,29 @@
+"""Analytical models from the paper and its related work.
+
+These are not used by the simulator; they provide independent
+cross-checks for the simulation (tests compare zero-load simulated
+response times against :mod:`repro.models.gray`) and reproduce the
+paper's back-of-envelope analyses (the §4.2.3 parity-placement rule).
+"""
+
+from repro.models.parity_placement import (
+    data_area_access_rate,
+    parity_area_access_rate,
+    preferred_placement,
+)
+from repro.models.gray import zero_load_response
+from repro.models.queueing import mg1_response_time, mg1_waiting_time
+from repro.models.seek_affinity import empirical_seek_profile
+from repro.models.reliability import ReliabilityModel, storage_overhead
+
+__all__ = [
+    "ReliabilityModel",
+    "data_area_access_rate",
+    "empirical_seek_profile",
+    "mg1_response_time",
+    "mg1_waiting_time",
+    "parity_area_access_rate",
+    "preferred_placement",
+    "storage_overhead",
+    "zero_load_response",
+]

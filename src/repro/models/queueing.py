@@ -1,0 +1,44 @@
+"""M/G/1 queueing approximations (Chen & Towsley-style cross-checks).
+
+A single disk under Poisson arrivals is well approximated by an M/G/1
+queue; the Pollaczek–Khinchine formula gives the mean waiting time from
+the first two moments of the service time.  The tests use this to sanity
+check the simulator's Base organization under a synthetic Poisson load.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["mg1_waiting_time", "mg1_response_time", "mm1_response_time"]
+
+
+def mg1_waiting_time(arrival_rate: float, service_mean: float, service_second_moment: float) -> float:
+    """Mean M/G/1 waiting time (Pollaczek–Khinchine).
+
+    Parameters are in consistent units (e.g. 1/ms and ms).  Raises if
+    the queue is unstable (utilization ≥ 1).
+    """
+    if arrival_rate < 0 or service_mean <= 0:
+        raise ValueError("rates and means must be positive")
+    if service_second_moment < service_mean**2:
+        raise ValueError("second moment below mean² is impossible")
+    rho = arrival_rate * service_mean
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
+    return arrival_rate * service_second_moment / (2.0 * (1.0 - rho))
+
+
+def mg1_response_time(arrival_rate: float, service_mean: float, service_second_moment: float) -> float:
+    """Mean M/G/1 response (waiting + service)."""
+    return service_mean + mg1_waiting_time(arrival_rate, service_mean, service_second_moment)
+
+
+def mm1_response_time(arrival_rate: float, service_mean: float) -> float:
+    """Mean M/M/1 response time (exponential service)."""
+    rho = arrival_rate * service_mean
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
+    if math.isclose(rho, 0.0):
+        return service_mean
+    return service_mean / (1.0 - rho)

@@ -1,0 +1,115 @@
+"""Reliability arithmetic from the paper's introduction.
+
+"For large systems, e.g., with over 150 disks, the mean time to failure
+(MTTF) of the permanent storage subsystem can be less than 28 days"
+(assuming 100,000-hour disk MTTF).  This module reproduces that figure
+and the standard redundancy-group MTTDL formulas used to justify the
+array organizations:
+
+* Base (no redundancy): any disk failure loses data —
+  ``MTTDL = MTTF_disk / D``.
+* Mirrored pair: data is lost when the partner fails during the repair
+  window — ``MTTDL_pair ≈ MTTF² / (2 · MTTR)``.
+* Parity group of G disks (RAID5/RAID4/Parity Striping with
+  G = N + 1): loss requires a second failure in the group during
+  repair — ``MTTDL_group ≈ MTTF² / (G · (G − 1) · MTTR)``.
+
+A system of k independent groups has ``MTTDL_system = MTTDL_group / k``.
+All formulas are the classic exponential-failure approximations (valid
+for MTTR ≪ MTTF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReliabilityModel", "storage_overhead"]
+
+HOURS_PER_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """MTTDL calculator for the paper's organizations.
+
+    Parameters
+    ----------
+    disk_mttf_hours:
+        Per-disk mean time to failure (paper: 100,000 hours).
+    mttr_hours:
+        Mean time to repair/replace a failed disk (rebuild window).
+    """
+
+    disk_mttf_hours: float = 100_000.0
+    mttr_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.disk_mttf_hours <= 0 or self.mttr_hours <= 0:
+            raise ValueError("MTTF and MTTR must be positive")
+        if self.mttr_hours >= self.disk_mttf_hours:
+            raise ValueError("the approximations require MTTR << MTTF")
+
+    # -- building blocks ----------------------------------------------------
+    def any_disk_failure_mttf(self, ndisks: int) -> float:
+        """MTTF of the first failure among *ndisks* disks (hours)."""
+        if ndisks < 1:
+            raise ValueError("ndisks must be >= 1")
+        return self.disk_mttf_hours / ndisks
+
+    def mirrored_pair_mttdl(self) -> float:
+        """Mean time to data loss of one mirrored pair (hours)."""
+        return self.disk_mttf_hours**2 / (2.0 * self.mttr_hours)
+
+    def parity_group_mttdl(self, group_disks: int) -> float:
+        """Mean time to data loss of one parity group (hours)."""
+        if group_disks < 2:
+            raise ValueError("a parity group needs at least 2 disks")
+        return self.disk_mttf_hours**2 / (
+            group_disks * (group_disks - 1) * self.mttr_hours
+        )
+
+    # -- organizations -------------------------------------------------------
+    def system_mttdl(self, organization: str, data_disks: int, n: int) -> float:
+        """Mean time to data loss for a whole system (hours).
+
+        Parameters
+        ----------
+        organization:
+            base / mirror / raid5 / raid4 / parity_striping.
+        data_disks:
+            Logical database size in data disks.
+        n:
+            Array size (data-disk equivalents per array).
+        """
+        if data_disks < 1 or data_disks % n:
+            raise ValueError("data_disks must be a positive multiple of n")
+        arrays = data_disks // n
+        org = organization.lower()
+        if org == "base":
+            return self.any_disk_failure_mttf(data_disks)
+        if org == "mirror":
+            return self.mirrored_pair_mttdl() / data_disks
+        if org in ("raid5", "raid4", "parity_striping"):
+            return self.parity_group_mttdl(n + 1) / arrays
+        raise ValueError(f"unknown organization {organization!r}")
+
+    def paper_intro_check(self, ndisks: int = 150) -> float:
+        """The intro's figure: days to first failure for *ndisks* disks."""
+        return self.any_disk_failure_mttf(ndisks) / HOURS_PER_DAY
+
+
+def storage_overhead(organization: str, n: int) -> float:
+    """Extra physical storage per unit of data (§3.2's cost side).
+
+    Mirror: 100%; parity organizations: 1/N; Base: none.
+    """
+    org = organization.lower()
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if org == "base":
+        return 0.0
+    if org == "mirror":
+        return 1.0
+    if org in ("raid5", "raid4", "parity_striping"):
+        return 1.0 / n
+    raise ValueError(f"unknown organization {organization!r}")

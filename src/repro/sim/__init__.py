@@ -1,0 +1,23 @@
+"""System assembly and simulation running.
+
+:mod:`repro.sim.config` holds every parameter (Tables 1 and 4 defaults),
+:mod:`repro.sim.system` builds arrays from a config,
+:mod:`repro.sim.runner` drives a trace through the system and collects
+:mod:`repro.sim.results`.
+"""
+
+from repro.sim.config import DiskParams, SystemConfig, Organization
+from repro.sim.results import ArrayMetrics, RunResult
+from repro.sim.system import ArraySystem, build_system
+from repro.sim.runner import run_trace
+
+__all__ = [
+    "ArrayMetrics",
+    "ArraySystem",
+    "DiskParams",
+    "Organization",
+    "RunResult",
+    "SystemConfig",
+    "build_system",
+    "run_trace",
+]

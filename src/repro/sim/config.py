@@ -1,0 +1,219 @@
+"""Simulation configuration.
+
+Defaults reproduce Table 1 (disk/channel parameters) and Table 4
+(default experiment parameters): ``N = 10``, 4 KB blocks, Disk First
+synchronization, 1-block striping unit, middle-cylinder parity
+placement, 16 MB cache for cached organizations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.array.sync import SyncPolicy
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.layout import (
+    BaseLayout,
+    Layout,
+    MirrorLayout,
+    ParityPlacement,
+    ParityStripingLayout,
+    Raid4Layout,
+    Raid5Layout,
+)
+from repro.trace.synthetic import DEFAULT_BLOCKS_PER_DISK
+
+__all__ = ["Organization", "DiskParams", "SystemConfig"]
+
+
+class Organization(enum.Enum):
+    """The five organizations of Table 3."""
+
+    BASE = "base"
+    MIRROR = "mirror"
+    RAID5 = "raid5"
+    RAID4 = "raid4"
+    PARITY_STRIPING = "parity_striping"
+
+    @classmethod
+    def parse(cls, text: str) -> "Organization":
+        t = text.strip().lower().replace("-", "_").replace(" ", "_")
+        aliases = {
+            "parstripe": cls.PARITY_STRIPING,
+            "parity_stripe": cls.PARITY_STRIPING,
+            "ps": cls.PARITY_STRIPING,
+        }
+        if t in aliases:
+            return aliases[t]
+        for member in cls:
+            if member.value == t:
+                return member
+        raise ValueError(f"unknown organization {text!r}")
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Table 1 disk parameters plus the seek-curve settle time."""
+
+    rpm: float = 5400.0
+    average_seek_ms: float = 11.2
+    maximal_seek_ms: float = 28.0
+    settle_ms: float = 2.0
+    cylinders: int = 1260
+    surfaces: int = 30  # 15 platters
+    sectors_per_track: int = 48
+    bytes_per_sector: int = 512
+
+    def geometry(self, block_bytes: int = 4096) -> DiskGeometry:
+        """Build the :class:`DiskGeometry` for these parameters."""
+        return DiskGeometry(
+            cylinders=self.cylinders,
+            surfaces=self.surfaces,
+            sectors_per_track=self.sectors_per_track,
+            bytes_per_sector=self.bytes_per_sector,
+            rpm=self.rpm,
+            block_bytes=block_bytes,
+        )
+
+    def seek_model(self) -> SeekModel:
+        """Fit the seek curve to these parameters."""
+        return SeekModel.fit(
+            cylinders=self.cylinders,
+            average_ms=self.average_seek_ms,
+            maximal_ms=self.maximal_seek_ms,
+            settle_ms=self.settle_ms,
+        )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build and run one simulated I/O subsystem."""
+
+    organization: Organization = Organization.RAID5
+    #: Array size: data-disk equivalents per array (Table 4: N = 10).
+    n: int = 10
+    #: Logical database blocks per data disk.
+    blocks_per_disk: int = DEFAULT_BLOCKS_PER_DISK
+    block_bytes: int = 4096
+    #: RAID5/RAID4 striping unit in blocks (Table 4: 1 block).
+    striping_unit: int = 1
+    #: Parity Striping placement (Table 4: middle cylinders).
+    parity_placement: ParityPlacement = ParityPlacement.MIDDLE
+    #: Parity Striping fine-grained parity (the paper's suggested
+    #: extension): rotate group membership every this many blocks of
+    #: area offset; None = classic whole-area groups.
+    parity_grain: int | None = None
+    #: Parity/data synchronization (Table 4: Disk First).
+    sync_policy: str = "DF"
+    #: Stripe-coverage fraction at or above which reconstruct-write is
+    #: used instead of read-modify-write ("less than half a stripe").
+    rmw_threshold: float = 0.5
+    #: Under SI, revolutions the parity disk is held waiting for the old
+    #: data before requeueing the access ("held for the duration of some
+    #: number of full rotations", §3.3).  The bound also breaks the
+    #: cross-disk circular wait that unbounded holding can create.
+    si_max_hold_revolutions: int = 4
+
+    # Channel & buffers.
+    channel_mb_per_s: float = 10.0
+    track_buffers_per_disk: int = 5
+    #: Per-disk queue discipline: ``fcfs`` (priority classes, FIFO
+    #: within — the paper's model) or ``sstf`` (shortest seek first
+    #: within the best priority class; an ablation extension).
+    disk_scheduler: str = "fcfs"
+
+    # Cache (cached organizations only).
+    cached: bool = False
+    cache_mb: float = 16.0
+    destage_period_ms: float = 1000.0
+    #: Cap on blocks destaged per cycle (None = everything dirty).
+    destage_max_blocks: int | None = None
+    #: Write-back policy (§3.4 compares the first two; the third is the
+    #: decoupling the paper suggests investigating):
+    #: ``periodic``   — background destage of all dirty blocks each period
+    #:                  (the paper's choice, found best at all cache sizes);
+    #: ``lru_demand`` — "basic LRU": dirty blocks written back only when
+    #:                  they reach the LRU head and a miss replaces them;
+    #: ``decoupled``  — frequent small destages of the oldest dirty blocks
+    #:                  plus a periodic full flush that frees old copies.
+    destage_policy: str = "periodic"
+    #: decoupled policy: destages per period and blocks per destage.
+    decoupled_batches_per_period: int = 4
+    decoupled_batch_blocks: int = 24
+    #: RAID4 parity caching (§4.4); RAID4 is only studied cached.
+    parity_caching: bool = True
+    #: Synchronize all spindles (paper: "No spindle synchronization is
+    #: assumed", so the default randomises each disk's rotational phase).
+    spindle_sync: bool = False
+    #: Seed for the deterministic spindle phases.
+    phase_seed: int = 77
+
+    disk: DiskParams = field(default_factory=DiskParams)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be >= 1")
+        if self.cache_mb <= 0:
+            raise ValueError("cache_mb must be positive")
+        if self.destage_period_ms <= 0:
+            raise ValueError("destage period must be positive")
+        if not 0.0 < self.rmw_threshold <= 1.0:
+            raise ValueError("rmw_threshold must be in (0, 1]")
+        if self.destage_policy not in ("periodic", "lru_demand", "decoupled"):
+            raise ValueError(f"unknown destage policy {self.destage_policy!r}")
+        if self.disk_scheduler not in ("fcfs", "sstf"):
+            raise ValueError(f"unknown disk scheduler {self.disk_scheduler!r}")
+        if self.decoupled_batches_per_period < 1 or self.decoupled_batch_blocks < 1:
+            raise ValueError("decoupled destage parameters must be >= 1")
+        SyncPolicy.parse(self.sync_policy)  # validate early
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def sync_policy_enum(self) -> SyncPolicy:
+        return SyncPolicy.parse(self.sync_policy)
+
+    @property
+    def cache_blocks(self) -> int:
+        """Cache capacity in blocks (MB are binary here: 16 MB -> 4096)."""
+        return int(self.cache_mb * 1024 * 1024 // self.block_bytes)
+
+    @property
+    def disks_per_array(self) -> int:
+        """Physical disks per array for this organization (Table 3)."""
+        if self.organization is Organization.BASE:
+            return self.n
+        if self.organization is Organization.MIRROR:
+            return 2 * self.n
+        return self.n + 1
+
+    def make_layout(self) -> Layout:
+        """Instantiate the layout for one array."""
+        org = self.organization
+        if org is Organization.BASE:
+            return BaseLayout(self.n, self.blocks_per_disk)
+        if org is Organization.MIRROR:
+            return MirrorLayout(self.n, self.blocks_per_disk)
+        if org is Organization.RAID5:
+            return Raid5Layout(self.n, self.blocks_per_disk, self.striping_unit)
+        if org is Organization.RAID4:
+            return Raid4Layout(self.n, self.blocks_per_disk, self.striping_unit)
+        return ParityStripingLayout(
+            self.n,
+            self.blocks_per_disk,
+            self.parity_placement,
+            parity_grain=self.parity_grain,
+        )
+
+    def arrays_for(self, total_data_disks: int) -> int:
+        """Arrays needed to hold *total_data_disks* logical disks."""
+        if total_data_disks % self.n:
+            raise ValueError(
+                f"{total_data_disks} data disks not divisible by N={self.n}"
+            )
+        return total_data_disks // self.n
+
+    def with_(self, **changes) -> "SystemConfig":
+        """Functional update (convenience for parameter sweeps)."""
+        return replace(self, **changes)

@@ -1,0 +1,184 @@
+"""Trace-driven simulation runner.
+
+Feeds a :class:`~repro.trace.record.Trace` through a built system: a
+source process releases each request at its arrival time and spawns a
+handler process on the owning array's controller; the handler's
+completion time defines the response time.  Requests arriving before
+the warm-up cutoff run normally but are excluded from the statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.des import AllOf, Environment, Event
+from repro.sim.config import SystemConfig
+from repro.sim.results import ArrayMetrics, RunResult
+from repro.sim.system import ArraySystem, build_system
+from repro.trace.record import Trace
+
+__all__ = ["run_trace"]
+
+
+def run_trace(
+    config: SystemConfig,
+    trace: Trace,
+    warmup_fraction: float = 0.1,
+    keep_samples: bool = True,
+    name: Optional[str] = None,
+) -> RunResult:
+    """Simulate *trace* on a system built from *config*.
+
+    Parameters
+    ----------
+    warmup_fraction:
+        Fraction of the trace duration excluded from statistics while
+        queues and caches warm up.
+    keep_samples:
+        Store every response time (enables percentiles; disable for very
+        long runs).
+
+    Returns
+    -------
+    RunResult with response-time statistics and per-array counters.
+    """
+    if trace.blocks_per_disk != config.blocks_per_disk:
+        raise ValueError(
+            f"trace uses {trace.blocks_per_disk} blocks/disk but the config "
+            f"expects {config.blocks_per_disk}"
+        )
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    narrays = config.arrays_for(trace.ndisks)
+
+    env = Environment()
+    system = build_system(env, config, narrays)
+    warmup_ms = trace.duration_ms * warmup_fraction
+
+    result = RunResult(
+        name=name or trace.name,
+        organization=config.organization.value,
+        n=config.n,
+        narrays=narrays,
+        simulated_ms=0.0,
+        requests=len(trace),
+        warmup_ms=warmup_ms,
+    )
+    for tally in (result.response, result.read_response, result.write_response):
+        tally._samples = [] if keep_samples else None
+
+    # The background destage/spooler processes never terminate, so the
+    # run ends when the last request completes, not when the event queue
+    # drains.
+    progress = _Progress(len(trace), Event(env))
+    env.process(_source(env, system, trace, warmup_ms, result, progress))
+    if len(trace):
+        env.run(until=progress.all_done)
+    result.simulated_ms = env.now
+
+    for controller in system.controllers:
+        metrics = ArrayMetrics(
+            disk_accesses=np.array([d.completed for d in controller.disks], dtype=np.int64),
+            disk_utilization=np.array(
+                [d.utilization(env.now) for d in controller.disks], dtype=np.float64
+            ),
+            channel_utilization=controller.channel.utilization(env.now),
+        )
+        cache = getattr(controller, "cache", None)
+        if cache is not None:
+            metrics.read_hits = cache.read_hits
+            metrics.read_misses = cache.read_misses
+            metrics.write_hits = cache.write_hits
+            metrics.write_misses = cache.write_misses
+            metrics.sync_writebacks = controller.sync_writebacks
+            metrics.destaged_blocks = controller.destaged_blocks
+        result.arrays.append(metrics)
+    return result
+
+
+class _Progress:
+    """Counts completed requests and triggers when the last finishes."""
+
+    __slots__ = ("remaining", "all_done")
+
+    def __init__(self, total: int, all_done: Event) -> None:
+        self.remaining = total
+        self.all_done = all_done
+
+    def one_done(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.all_done.succeed()
+
+
+def _source(
+    env: Environment,
+    system: ArraySystem,
+    trace: Trace,
+    warmup_ms: float,
+    result: RunResult,
+    progress: "_Progress",
+) -> Generator[Event, None, None]:
+    """Release requests at their trace arrival times."""
+    records = trace.records
+    times = records["time"]
+    lblocks = records["lblock"]
+    nblocks = records["nblocks"]
+    is_write = records["is_write"]
+    for i in range(len(records)):
+        t = float(times[i])
+        if t > env.now:
+            yield env.timeout(t - env.now)
+        env.process(
+            _request(
+                env,
+                system,
+                int(lblocks[i]),
+                int(nblocks[i]),
+                bool(is_write[i]),
+                warmup_ms,
+                result,
+                progress,
+            )
+        )
+
+
+def _request(
+    env: Environment,
+    system: ArraySystem,
+    lblock: int,
+    nblocks: int,
+    is_write: bool,
+    warmup_ms: float,
+    result: RunResult,
+    progress: "_Progress",
+) -> Generator[Event, None, None]:
+    """Service one trace request, splitting across arrays if needed."""
+    t0 = env.now
+    per_array = system.config.n * system.config.blocks_per_disk
+
+    parts = []
+    pos, end = lblock, lblock + nblocks
+    while pos < end:
+        idx, controller, local = system.controller_for(pos)
+        span = min(end - pos, (idx + 1) * per_array - pos)
+        parts.append((controller, local, span))
+        pos += span
+
+    if len(parts) == 1:
+        controller, local, span = parts[0]
+        yield from controller.handle(local, span, is_write)
+    else:
+        procs = [
+            env.process(controller.handle(local, span, is_write))
+            for controller, local, span in parts
+        ]
+        yield AllOf(env, procs)
+
+    if t0 >= warmup_ms:
+        rt = env.now - t0
+        result.response.observe(rt)
+        (result.write_response if is_write else result.read_response).observe(rt)
+    progress.one_done()

@@ -1,0 +1,96 @@
+"""Building a simulated I/O subsystem from a configuration.
+
+Each array is self-contained — its own disks, channel, controller and
+(if cached) NV cache — mirroring §3.2: "Each array has one controller
+and an independent channel connecting it to the host."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array.cached import CachedController
+from repro.array.controller import ArrayController
+from repro.array.uncached import (
+    UncachedBaseController,
+    UncachedMirrorController,
+    UncachedParityController,
+)
+from repro.channel.bus import Channel
+from repro.des import Environment
+from repro.disk.drive import Disk
+from repro.disk.scheduler import SSTFScheduler
+from repro.sim.config import Organization, SystemConfig
+
+__all__ = ["ArraySystem", "build_system"]
+
+
+@dataclass
+class ArraySystem:
+    """A built subsystem: ``narrays`` independent arrays."""
+
+    env: Environment
+    config: SystemConfig
+    controllers: list[ArrayController]
+
+    @property
+    def narrays(self) -> int:
+        return len(self.controllers)
+
+    @property
+    def total_disks(self) -> int:
+        """Physical disks across all arrays (the equal-capacity cost)."""
+        return sum(len(c.disks) for c in self.controllers)
+
+    def controller_for(self, lblock: int) -> tuple[int, ArrayController, int]:
+        """Route a global logical block: ``(array, controller, local_block)``."""
+        per_array = self.config.n * self.config.blocks_per_disk
+        idx = lblock // per_array
+        return idx, self.controllers[idx], lblock - idx * per_array
+
+
+def build_system(env: Environment, config: SystemConfig, narrays: int) -> ArraySystem:
+    """Instantiate *narrays* arrays of the configured organization."""
+    if narrays < 1:
+        raise ValueError("need at least one array")
+    geometry = config.disk.geometry(config.block_bytes)
+    if config.blocks_per_disk > geometry.total_blocks:
+        raise ValueError(
+            f"database slice of {config.blocks_per_disk} blocks exceeds the "
+            f"disk's {geometry.total_blocks}"
+        )
+    seek_model = config.disk.seek_model()
+    phase_rng = np.random.default_rng(config.phase_seed)
+
+    controllers: list[ArrayController] = []
+    for ai in range(narrays):
+        layout = config.make_layout()
+        disks = [
+            Disk(
+                env,
+                geometry,
+                seek_model,
+                name=f"a{ai}.d{di}",
+                scheduler=(
+                    SSTFScheduler(geometry) if config.disk_scheduler == "sstf" else None
+                ),
+                phase=0.0 if config.spindle_sync else float(phase_rng.random()),
+            )
+            for di in range(layout.ndisks)
+        ]
+        channel = Channel(env, config.channel_mb_per_s, name=f"a{ai}.chan")
+        controllers.append(_make_controller(env, layout, disks, channel, config))
+    return ArraySystem(env=env, config=config, controllers=controllers)
+
+
+def _make_controller(env, layout, disks, channel, config: SystemConfig) -> ArrayController:
+    if config.cached:
+        return CachedController(env, layout, disks, channel, config)
+    org = config.organization
+    if org is Organization.BASE:
+        return UncachedBaseController(env, layout, disks, channel, config)
+    if org is Organization.MIRROR:
+        return UncachedMirrorController(env, layout, disks, channel, config)
+    return UncachedParityController(env, layout, disks, channel, config)

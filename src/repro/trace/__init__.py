@@ -1,0 +1,34 @@
+"""I/O trace infrastructure.
+
+The paper drives its simulations with two proprietary traces collected at
+IBM DB2 customer sites.  Those traces are not available, so this package
+provides (a) the trace data model and Table-2-style characterisation, and
+(b) a calibrated synthetic generator
+(:mod:`repro.trace.synthetic`) whose presets reproduce every workload
+characteristic the paper reports: request mix, write fraction,
+multi-block size, per-disk skew, spatial locality (seek affinity),
+temporal locality (cache-hit behaviour) and the DB2 read-before-write
+pattern.
+"""
+
+from repro.trace.record import Trace, TraceStats, TRACE_DTYPE
+from repro.trace.synthetic import (
+    SyntheticTraceConfig,
+    generate_trace,
+    trace1_config,
+    trace2_config,
+)
+from repro.trace.transform import scale_speed, slice_arrays, clip_requests
+
+__all__ = [
+    "TRACE_DTYPE",
+    "SyntheticTraceConfig",
+    "Trace",
+    "TraceStats",
+    "clip_requests",
+    "generate_trace",
+    "scale_speed",
+    "slice_arrays",
+    "trace1_config",
+    "trace2_config",
+]

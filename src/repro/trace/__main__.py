@@ -1,0 +1,100 @@
+"""Trace toolbox CLI.
+
+Usage::
+
+    python -m repro.trace generate --preset trace2 --scale 0.5 --out t2.npz
+    python -m repro.trace stats t2.npz
+    python -m repro.trace convert t2.npz t2.txt      # paper text format
+    python -m repro.trace convert t2.txt t2b.npz --ndisks 10
+    python -m repro.trace speed t2.npz t2fast.npz --factor 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.trace import generate_trace, scale_speed, trace1_config, trace2_config
+from repro.trace.io_ import load_npz, read_paper_format, save_npz, write_paper_format
+from repro.trace.synthetic import DEFAULT_BLOCKS_PER_DISK
+
+__all__ = ["main"]
+
+
+def _load(path: str, ndisks: int | None, bpd: int) -> "Trace":
+    if path.endswith(".npz"):
+        return load_npz(path)
+    if ndisks is None:
+        raise SystemExit("--ndisks is required to read text-format traces")
+    with open(path) as fh:
+        return read_paper_format(fh, ndisks, bpd, name=path)
+
+
+def _save(trace, path: str) -> None:
+    if path.endswith(".npz"):
+        save_npz(trace, path)
+    else:
+        with open(path, "w") as fh:
+            write_paper_format(trace, fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace", description="Trace toolbox."
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic trace")
+    gen.add_argument("--preset", choices=["trace1", "trace2"], required=True)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--out", required=True)
+
+    st = sub.add_parser("stats", help="print Table-2-style statistics")
+    st.add_argument("path")
+    st.add_argument("--ndisks", type=int)
+    st.add_argument("--blocks-per-disk", type=int, default=DEFAULT_BLOCKS_PER_DISK)
+
+    cv = sub.add_parser("convert", help="convert between npz and text formats")
+    cv.add_argument("src")
+    cv.add_argument("dst")
+    cv.add_argument("--ndisks", type=int)
+    cv.add_argument("--blocks-per-disk", type=int, default=DEFAULT_BLOCKS_PER_DISK)
+
+    sp = sub.add_parser("speed", help="apply a trace-speed factor (§4.2.4)")
+    sp.add_argument("src")
+    sp.add_argument("dst")
+    sp.add_argument("--factor", type=float, required=True)
+    sp.add_argument("--ndisks", type=int)
+    sp.add_argument("--blocks-per-disk", type=int, default=DEFAULT_BLOCKS_PER_DISK)
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "generate":
+        cfg = (trace1_config if args.preset == "trace1" else trace2_config)(args.scale)
+        trace = generate_trace(cfg)
+        _save(trace, args.out)
+        print(f"wrote {trace} to {args.out}")
+        return 0
+
+    if args.cmd == "stats":
+        trace = _load(args.path, args.ndisks, args.blocks_per_disk)
+        print(trace.stats().as_table())
+        return 0
+
+    if args.cmd == "convert":
+        trace = _load(args.src, args.ndisks, args.blocks_per_disk)
+        _save(trace, args.dst)
+        print(f"converted {args.src} -> {args.dst} ({len(trace)} requests)")
+        return 0
+
+    if args.cmd == "speed":
+        trace = _load(args.src, args.ndisks, args.blocks_per_disk)
+        _save(scale_speed(trace, args.factor), args.dst)
+        print(f"scaled {args.src} by {args.factor}x -> {args.dst}")
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Trace transformations used by the experiments.
+
+* :func:`scale_speed` — the paper's §4.2.4 "trace speed" experiment:
+  arrival times are divided by the speed factor (2× speed halves every
+  interarrival gap).
+* :func:`slice_arrays` — restrict a trace to a contiguous range of
+  logical disks (used to simulate a subset of a large system's arrays at
+  identical per-disk load).
+* :func:`clip_requests` — truncate a trace to its first *n* requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.record import Trace
+
+__all__ = ["scale_speed", "slice_arrays", "clip_requests"]
+
+
+def scale_speed(trace: Trace, speed: float) -> Trace:
+    """Speed the trace up (speed > 1) or slow it down (speed < 1).
+
+    The request stream is unchanged; only arrival times scale by
+    ``1/speed``.  As the paper notes, a sped-up trace does not correspond
+    to any real system (transactions would stall on earlier I/Os); it is
+    a load knob.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    records = trace.records.copy()
+    records["time"] = records["time"] / speed
+    return Trace(
+        records,
+        trace.ndisks,
+        trace.blocks_per_disk,
+        name=f"{trace.name}@speed{speed:g}",
+    )
+
+
+def slice_arrays(trace: Trace, first_disk: int, ndisks: int) -> Trace:
+    """Keep only requests addressed to logical disks ``[first, first+n)``.
+
+    Addresses are rebased so the result is a self-contained trace over
+    ``ndisks`` logical disks.  Requests that straddle the boundary are
+    clipped to the kept range (they are vanishingly rare: requests stay
+    within one logical disk by construction in the generator).
+    """
+    if not 0 <= first_disk < trace.ndisks:
+        raise ValueError(f"first_disk {first_disk} out of range")
+    if ndisks < 1 or first_disk + ndisks > trace.ndisks:
+        raise ValueError("disk range outside trace")
+    bpd = trace.blocks_per_disk
+    lo = first_disk * bpd
+    hi = (first_disk + ndisks) * bpd
+    r = trace.records
+    starts = r["lblock"]
+    ends = starts + r["nblocks"]
+    keep = (starts < hi) & (ends > lo)
+    out = r[keep].copy()
+    new_start = np.maximum(out["lblock"], lo)
+    new_end = np.minimum(out["lblock"] + out["nblocks"], hi)
+    out["lblock"] = new_start - lo
+    out["nblocks"] = (new_end - new_start).astype(np.int32)
+    return Trace(
+        out,
+        ndisks,
+        bpd,
+        name=f"{trace.name}[disks {first_disk}..{first_disk + ndisks - 1}]",
+    )
+
+
+def clip_requests(trace: Trace, n: int) -> Trace:
+    """Truncate the trace to its first *n* requests."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return Trace(
+        trace.records[:n].copy(),
+        trace.ndisks,
+        trace.blocks_per_disk,
+        name=f"{trace.name}[:{n}]",
+    )

@@ -1,0 +1,268 @@
+"""Tests for degraded-mode operation and rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.array.degraded import (
+    DegradedMirrorController,
+    DegradedParityController,
+    RebuildProcess,
+    reconstruction_sources,
+)
+from repro.channel import Channel
+from repro.des import Environment
+from repro.disk import Disk
+from repro.layout import (
+    BaseLayout,
+    MirrorLayout,
+    ParityStripingLayout,
+    Raid4Layout,
+    Raid5Layout,
+)
+from repro.sim import Organization, SystemConfig
+
+BPD = 240
+
+
+class TestReconstructionSources:
+    @pytest.mark.parametrize("su", [1, 2, 8])
+    def test_raid5_sources_are_other_disks_same_block(self, su):
+        layout = Raid5Layout(4, BPD, striping_unit=su)
+        sources = reconstruction_sources(layout, 2, 17)
+        assert len(sources) == 4
+        assert all(src.block == 17 for src in sources)
+        assert {src.disk for src in sources} == {0, 1, 3, 4}
+
+    def test_raid4_sources(self):
+        layout = Raid4Layout(4, BPD)
+        sources = reconstruction_sources(layout, 0, 5)
+        assert {src.disk for src in sources} == {1, 2, 3, 4}
+
+    def test_mirror_source_is_partner(self):
+        layout = MirrorLayout(4, BPD)
+        assert reconstruction_sources(layout, 3, 9) == [
+            type(reconstruction_sources(layout, 3, 9)[0])(2, 9)
+        ]
+
+    def test_parstripe_data_block_sources(self):
+        layout = ParityStripingLayout(4, BPD)
+        # Data block on disk 0, area 0, offset 7.
+        pblock = layout.map_block(7).block
+        sources = reconstruction_sources(layout, 0, pblock)
+        assert len(sources) == 4  # parity + 3 other members
+        assert 0 not in {src.disk for src in sources}
+        # Exactly one source is a parity block.
+        parity_sources = [
+            s for s in sources if layout.is_parity_block(s.disk, s.block)
+        ]
+        assert len(parity_sources) == 1
+
+    def test_parstripe_parity_block_sources(self):
+        layout = ParityStripingLayout(4, BPD)
+        parity_pblock = layout.parity_area_index * layout.area_blocks + 3
+        sources = reconstruction_sources(layout, 2, parity_pblock)
+        assert len(sources) == 4
+        assert all(not layout.is_parity_block(s.disk, s.block) for s in sources)
+
+    def test_xor_consistency_raid5(self):
+        """The sources of a data block are exactly its row-mates: their
+        logical contents plus parity XOR to the target (checked via the
+        layout's row structure)."""
+        layout = Raid5Layout(4, BPD, striping_unit=2)
+        for lb in (0, 5, 13):
+            addr = layout.map_block(lb)
+            sources = reconstruction_sources(layout, addr.disk, addr.block)
+            # One source must be the parity of lb.
+            parity = layout.parity_of(lb)
+            assert parity in sources
+
+    def test_base_has_no_redundancy(self):
+        with pytest.raises(TypeError):
+            reconstruction_sources(BaseLayout(4, BPD), 0, 0)
+
+
+def build_degraded(org, failed=1, spare=False, n=4, **kw):
+    env = Environment()
+    cfg = SystemConfig(
+        organization=Organization.parse(org),
+        n=n,
+        blocks_per_disk=BPD,
+        spindle_sync=True,
+        **kw,
+    )
+    layout = cfg.make_layout()
+    geo = cfg.disk.geometry()
+    sm = cfg.disk.seek_model()
+    disks = [Disk(env, geo, sm, name=f"d{i}") for i in range(layout.ndisks)]
+    channel = Channel(env)
+    cls = DegradedMirrorController if org == "mirror" else DegradedParityController
+    ctrl = cls(env, layout, disks, channel, cfg, failed_disk=failed, spare=spare)
+    return env, ctrl
+
+
+def run_one(env, ctrl, lb, k, is_write):
+    out = {}
+
+    def proc(env):
+        t0 = env.now
+        yield from ctrl.handle(lb, k, is_write)
+        out["rt"] = env.now - t0
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    return out["rt"]
+
+
+class TestDegradedParity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_degraded("raid5", failed=9)
+
+    def test_read_of_healthy_disk_unaffected(self):
+        env, ctrl = build_degraded("raid5", failed=1)
+        lb = next(
+            b for b in range(20) if ctrl.layout.map_block(b).disk not in (1,)
+        )
+        rt = run_one(env, ctrl, lb, 1, False)
+        assert rt < 10  # plain single read, idle array
+        assert ctrl.degraded_reads == 0
+
+    def test_read_of_failed_disk_reconstructs(self):
+        env, ctrl = build_degraded("raid5", failed=1)
+        lb = next(b for b in range(20) if ctrl.layout.map_block(b).disk == 1)
+        rt = run_one(env, ctrl, lb, 1, False)
+        assert ctrl.degraded_reads == 1
+        # All four surviving disks were read.
+        reads = [d.reads for i, d in enumerate(ctrl.disks) if i != 1]
+        assert reads == [1, 1, 1, 1]
+        assert ctrl.disks[1].reads == 0
+
+    def test_degraded_read_waits_for_slowest_source(self):
+        """Reconstruction is the max over all surviving sources: a far
+        arm on any source disk delays the whole degraded read."""
+        env, ctrl = build_degraded("raid5", failed=1)
+        lb = next(b for b in range(20) if ctrl.layout.map_block(b).disk == 1)
+        ctrl.disks[3].cylinder = 1200  # one source parked far away
+        rt = run_one(env, ctrl, lb, 1, False)
+        seek = ctrl.disks[3].seek_model.seek_time(1200)
+        assert rt > seek
+
+    def test_write_to_failed_disk_updates_parity_only(self):
+        env, ctrl = build_degraded("raid5", failed=1)
+        lb = next(b for b in range(20) if ctrl.layout.map_block(b).disk == 1)
+        run_one(env, ctrl, lb, 1, True)
+        assert ctrl.degraded_writes == 1
+        assert ctrl.disks[1].completed == 0  # failed disk untouched
+        parity = ctrl.layout.parity_of(lb)
+        assert ctrl.disks[parity.disk].rmws == 1
+
+    def test_write_with_failed_parity_disk_is_plain(self):
+        env, ctrl = build_degraded("raid5", failed=1)
+        lb = next(b for b in range(60) if ctrl.layout.parity_of(b).disk == 1)
+        daddr = ctrl.layout.map_block(lb)
+        run_one(env, ctrl, lb, 1, True)
+        assert ctrl.degraded_writes == 1
+        # Data disk still updated (RMW), failed parity skipped.
+        assert ctrl.disks[daddr.disk].completed == 1
+        assert ctrl.disks[1].completed == 0
+
+    def test_parity_striping_degraded_read(self):
+        env, ctrl = build_degraded("parity_striping", failed=2)
+        lb = next(
+            b
+            for b in range(ctrl.layout.logical_blocks)
+            if ctrl.layout.map_block(b).disk == 2
+        )
+        run_one(env, ctrl, lb, 1, False)
+        assert ctrl.degraded_reads == 1
+
+
+class TestDegradedMirror:
+    def test_read_goes_to_survivor(self):
+        env, ctrl = build_degraded("mirror", failed=0)
+        run_one(env, ctrl, 0, 1, False)  # block on pair (0, 1)
+        assert ctrl.disks[1].reads == 1
+        assert ctrl.disks[0].reads == 0
+
+    def test_write_only_to_survivor(self):
+        env, ctrl = build_degraded("mirror", failed=0)
+        run_one(env, ctrl, 0, 1, True)
+        assert ctrl.disks[1].writes == 1
+        assert ctrl.disks[0].writes == 0
+        assert ctrl.degraded_writes == 1
+
+    def test_other_pairs_unaffected(self):
+        env, ctrl = build_degraded("mirror", failed=0)
+        run_one(env, ctrl, BPD + 1, 1, True)  # pair (2, 3)
+        assert ctrl.disks[2].writes == 1
+        assert ctrl.disks[3].writes == 1
+
+
+class TestRebuild:
+    def test_requires_spare(self):
+        env, ctrl = build_degraded("raid5", failed=1, spare=False)
+        with pytest.raises(ValueError):
+            RebuildProcess(ctrl)
+
+    def test_rebuild_completes_and_advances_watermark(self):
+        env, ctrl = build_degraded("raid5", failed=1, spare=True)
+        rebuild = RebuildProcess(ctrl, chunk_blocks=12)
+        env.run(until=rebuild.process)
+        assert rebuild.done
+        assert ctrl.rebuilt_upto == BPD
+        assert rebuild.duration_ms > 0
+        spare = ctrl.disks[1]
+        assert spare.blocks_transferred == BPD
+
+    def test_reads_after_rebuild_use_spare(self):
+        env, ctrl = build_degraded("raid5", failed=1, spare=True)
+        rebuild = RebuildProcess(ctrl, chunk_blocks=60)
+        env.run(until=rebuild.process)
+        lb = next(b for b in range(20) if ctrl.layout.map_block(b).disk == 1)
+        before = ctrl.degraded_reads
+        run_one(env, ctrl, lb, 1, False)
+        assert ctrl.degraded_reads == before  # served by the spare
+        assert ctrl.disks[1].reads >= 1
+
+    def test_rebuild_with_foreground_traffic(self):
+        """Rebuild makes progress while requests keep arriving, and all
+        requests complete."""
+        env, ctrl = build_degraded("raid5", failed=1, spare=True)
+        rebuild = RebuildProcess(ctrl, chunk_blocks=12)
+        rng = np.random.default_rng(5)
+        finished = []
+
+        def client(env):
+            for _ in range(100):
+                yield env.timeout(float(rng.exponential(20.0)))
+                lb = int(rng.integers(0, 4 * BPD))
+                yield env.process(
+                    _request(env, ctrl, lb, bool(rng.random() < 0.3))
+                )
+                finished.append(lb)
+
+        def _request(env, ctrl, lb, w):
+            yield from ctrl.handle(lb, 1, w)
+
+        env.process(client(env))
+        env.run(until=rebuild.process)
+        env.run(until=60_000)
+        assert rebuild.done
+        assert len(finished) == 100
+
+    def test_throttled_rebuild_slower(self):
+        env1, c1 = build_degraded("raid5", failed=1, spare=True)
+        r1 = RebuildProcess(c1, chunk_blocks=12, delay_ms=0.0)
+        env1.run(until=r1.process)
+        env2, c2 = build_degraded("raid5", failed=1, spare=True)
+        r2 = RebuildProcess(c2, chunk_blocks=12, delay_ms=50.0)
+        env2.run(until=r2.process)
+        assert r2.duration_ms > r1.duration_ms
+
+    def test_mirror_rebuild(self):
+        env, ctrl = build_degraded("mirror", failed=0, spare=True)
+        rebuild = RebuildProcess(ctrl, chunk_blocks=24)
+        env.run(until=rebuild.process)
+        assert rebuild.done
+        # Rebuilt from the partner.
+        assert ctrl.disks[1].reads > 0

@@ -1,0 +1,86 @@
+"""Tests for the parity synchronization policies (§3.3)."""
+
+import pytest
+
+from repro.array.sync import SyncPolicy, parity_issue_gate, parity_priority
+from repro.des import Environment
+from repro.disk import AccessKind, Disk, DiskGeometry, DiskRequest, SeekModel
+from repro.disk.request import Priority
+
+REV = DiskGeometry().revolution_time
+XFER = DiskGeometry().block_transfer_time
+
+
+class TestSyncPolicyParsing:
+    @pytest.mark.parametrize("text", ["SI", "RF", "RF/PR", "DF", "DF/PR"])
+    def test_paper_spellings(self, text):
+        assert SyncPolicy.parse(text).value == text
+
+    def test_case_insensitive(self):
+        assert SyncPolicy.parse("df/pr") is SyncPolicy.DF_PR
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            SyncPolicy.parse("XX")
+
+
+class TestPriorities:
+    def test_pr_variants_urgent(self):
+        assert parity_priority(SyncPolicy.RF_PR) == Priority.PARITY_URGENT
+        assert parity_priority(SyncPolicy.DF_PR) == Priority.PARITY_URGENT
+
+    def test_others_normal(self):
+        for p in (SyncPolicy.SI, SyncPolicy.RF, SyncPolicy.DF):
+            assert parity_priority(p) == Priority.NORMAL
+
+
+class TestIssueGates:
+    @pytest.fixture
+    def env(self):
+        return Environment()
+
+    @pytest.fixture
+    def disk(self, env):
+        return Disk(env, DiskGeometry(), SeekModel.fit())
+
+    def test_si_has_no_gate(self, env, disk):
+        req = disk.submit(DiskRequest(AccessKind.RMW, 0))
+        assert parity_issue_gate(SyncPolicy.SI, env, [req]) is None
+
+    def test_rf_gate_is_read_completion(self, env, disk):
+        """RF: the gate opens when the old data has been read."""
+        req = disk.submit(DiskRequest(AccessKind.RMW, 0))
+        gate = parity_issue_gate(SyncPolicy.RF, env, [req])
+        env.run(gate)
+        assert env.now == pytest.approx(XFER)  # read phase only
+
+    def test_df_gate_is_service_start(self, env, disk):
+        """DF: the gate opens when the data access acquires the disk."""
+        blocker = disk.submit(DiskRequest(AccessKind.READ, 0))
+        req = disk.submit(DiskRequest(AccessKind.RMW, 6))
+        gate = parity_issue_gate(SyncPolicy.DF, env, [req])
+        env.run(gate)
+        assert env.now == pytest.approx(blocker.done.value)
+
+    def test_df_before_rf(self, env, disk):
+        """DF's gate opens no later than RF's for the same access."""
+        req = disk.submit(DiskRequest(AccessKind.RMW, 0))
+        df = parity_issue_gate(SyncPolicy.DF, env, [req])
+        t_df = env.run(until=df) or env.now
+        env2 = Environment()
+        disk2 = Disk(env2, DiskGeometry(), SeekModel.fit())
+        req2 = disk2.submit(DiskRequest(AccessKind.RMW, 0))
+        rf = parity_issue_gate(SyncPolicy.RF, env2, [req2])
+        env2.run(rf)
+        assert env.now <= env2.now
+
+    def test_gate_waits_for_all_accesses(self, env):
+        geo, sm = DiskGeometry(), SeekModel.fit()
+        d1, d2 = Disk(env, geo, sm), Disk(env, geo, sm)
+        r1 = d1.submit(DiskRequest(AccessKind.RMW, 0))
+        d2.submit(DiskRequest(AccessKind.READ, 0))  # delay d2
+        r2 = d2.submit(DiskRequest(AccessKind.RMW, 0))
+        gate = parity_issue_gate(SyncPolicy.RF, env, [r1, r2])
+        env.run(gate)
+        # Must wait for the slower (queued) access's read phase.
+        assert env.now >= r2.read_complete.value

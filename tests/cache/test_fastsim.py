@@ -1,0 +1,132 @@
+"""Tests for the fast cache-only hit-ratio simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache import simulate_hit_ratios
+from repro.layout import Raid4Layout
+from repro.trace import TRACE_DTYPE, Trace
+
+
+def make_trace(rows, ndisks=4, bpd=1000):
+    records = np.array(rows, dtype=TRACE_DTYPE)
+    return Trace(records, ndisks, bpd)
+
+
+class TestBasics:
+    def test_validation(self):
+        t = make_trace([(0.0, 0, 1, False)])
+        with pytest.raises(ValueError, match="divisible"):
+            simulate_hit_ratios(t, 3, 100)
+        with pytest.raises(ValueError, match="layout"):
+            simulate_hit_ratios(t, 4, 100, "raid4pc")
+
+    def test_cold_miss_then_hit(self):
+        t = make_trace([(0.0, 5, 1, False), (1.0, 5, 1, False)])
+        s = simulate_hit_ratios(t, 4, 100)
+        assert s.read_misses == 1
+        assert s.read_hits == 1
+        assert s.read_hit_ratio == 0.5
+
+    def test_write_then_read_hits(self):
+        t = make_trace([(0.0, 5, 1, True), (1.0, 5, 1, False)])
+        s = simulate_hit_ratios(t, 4, 100)
+        assert s.write_misses == 1
+        assert s.read_hits == 1
+
+    def test_multiblock_hit_requires_all(self):
+        t = make_trace(
+            [
+                (0.0, 5, 1, False),
+                (1.0, 5, 2, False),  # block 6 missing -> request miss
+                (2.0, 5, 2, False),  # now both present -> hit
+            ]
+        )
+        s = simulate_hit_ratios(t, 4, 100)
+        assert s.read_misses == 2
+        assert s.read_hits == 1
+
+    def test_capacity_eviction(self):
+        rows = [(float(i), i, 1, False) for i in range(10)]
+        rows.append((10.0, 0, 1, False))  # 0 evicted by then (cache=4)
+        t = make_trace(rows)
+        s = simulate_hit_ratios(t, 4, 4)
+        assert s.read_hits == 0
+
+    def test_lru_policy(self):
+        rows = [
+            (0.0, 0, 1, False),
+            (1.0, 1, 1, False),
+            (2.0, 0, 1, False),  # touch 0
+            (3.0, 2, 1, False),  # evicts 1 (cache=2)
+            (4.0, 0, 1, False),  # hit
+            (5.0, 1, 1, False),  # miss
+        ]
+        s = simulate_hit_ratios(make_trace(rows), 4, 2)
+        assert s.read_hits == 2  # the touch at t=2 and the hit at t=4
+        assert s.read_misses == 4
+
+    def test_per_array_caches_are_independent(self):
+        # Disk 0 -> array 0; disk 2 -> array 1 (N=2).
+        rows = [
+            (0.0, 5, 1, False),
+            (1.0, 2005, 1, False),
+            (2.0, 5, 1, False),
+            (3.0, 2005, 1, False),
+        ]
+        s = simulate_hit_ratios(make_trace(rows), 2, 100)
+        assert s.read_hits == 2
+        assert s.read_misses == 2
+
+
+class TestDestageAndOldBlocks:
+    def test_parity_mode_lowers_capacity_for_reads(self):
+        """Old copies in parity mode consume slots, lowering read hits
+        for a tight cache (the Fig. 11 parity-vs-plain gap)."""
+        rows = []
+        t = 0.0
+        for rep in range(40):
+            for b in range(6):
+                rows.append((t, b, 1, False))
+                t += 1.0
+                rows.append((t, b, 1, True))
+                t += 1.0
+        plain = simulate_hit_ratios(make_trace(rows), 4, 8, "plain", destage_period_ms=1e9)
+        parity = simulate_hit_ratios(make_trace(rows), 4, 8, "parity", destage_period_ms=1e9)
+        assert parity.read_hit_ratio <= plain.read_hit_ratio
+
+    def test_destage_cleans_dirty(self):
+        rows = [(0.0, 5, 1, True), (2000.0, 6, 1, False)]
+        s = simulate_hit_ratios(make_trace(rows), 4, 100, destage_period_ms=1000.0)
+        assert s.destage_cycles >= 1
+
+    def test_dirty_replacement_counted(self):
+        # Tiny cache, writes only, no destage -> dirty head replaced.
+        rows = [(float(i), i, 1, True) for i in range(10)]
+        s = simulate_hit_ratios(make_trace(rows), 4, 2, destage_period_ms=1e9)
+        assert s.dirty_replacements > 0
+
+    def test_raid4pc_mode_runs(self):
+        layout = Raid4Layout(4, 1000, striping_unit=1)
+        rows = [(float(i) * 100, i % 50, 1, i % 3 == 0) for i in range(200)]
+        s = simulate_hit_ratios(
+            make_trace(rows), 4, 64, "raid4pc", destage_period_ms=1000.0, layout=layout
+        )
+        assert s.read_hits + s.read_misses > 0
+
+    def test_raid4pc_hit_ratio_not_higher_than_parity(self):
+        """Buffered parity occupies slots: RAID4-PC read hit ratio must
+        not exceed the plain parity organization's (Fig. 15)."""
+        rng = np.random.default_rng(5)
+        rows = []
+        t = 0.0
+        hot = rng.integers(0, 500, size=3000)
+        for i, b in enumerate(hot):
+            t += 50.0
+            rows.append((t, int(b), 1, bool(rng.random() < 0.4)))
+        layout = Raid4Layout(4, 1000, striping_unit=1)
+        par = simulate_hit_ratios(make_trace(rows), 4, 128, "parity")
+        pc = simulate_hit_ratios(
+            make_trace(rows), 4, 128, "raid4pc", layout=layout
+        )
+        assert pc.read_hit_ratio <= par.read_hit_ratio + 0.01

@@ -1,0 +1,129 @@
+"""Unit and property tests for DiskGeometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.disk import DiskGeometry
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return DiskGeometry()
+
+
+class TestTable1Defaults:
+    """The default geometry must reproduce Table 1 of the paper."""
+
+    def test_parameters(self, geo):
+        assert geo.cylinders == 1260
+        assert geo.sectors_per_track == 48
+        assert geo.bytes_per_sector == 512
+        assert geo.rpm == 5400.0
+        assert geo.surfaces == 30  # 15 platters
+
+    def test_capacity_about_0_9_gb(self, geo):
+        assert 0.85e9 < geo.capacity_bytes < 0.95e9
+
+    def test_revolution_time(self, geo):
+        assert geo.revolution_time == pytest.approx(60000.0 / 5400.0)
+
+    def test_blocks_per_track(self, geo):
+        # 48 sectors * 512 B = 24 KB per track = 6 blocks of 4 KB.
+        assert geo.sectors_per_block == 8
+        assert geo.blocks_per_track == 6
+        assert geo.blocks_per_cylinder == 180
+
+    def test_total_blocks(self, geo):
+        assert geo.total_blocks == 1260 * 180
+
+    def test_block_transfer_time(self, geo):
+        # 8 of 48 sectors -> 1/6 revolution.
+        assert geo.block_transfer_time == pytest.approx(geo.revolution_time / 6)
+
+
+class TestValidation:
+    def test_block_not_multiple_of_sector(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(block_bytes=1000)
+
+    def test_track_not_multiple_of_block(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(sectors_per_track=12, block_bytes=8192)
+
+    @pytest.mark.parametrize("field", ["cylinders", "surfaces", "sectors_per_track"])
+    def test_nonpositive_rejected(self, field):
+        with pytest.raises(ValueError):
+            DiskGeometry(**{field: 0})
+
+    def test_nonpositive_rpm(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(rpm=0)
+
+    def test_block_out_of_range(self, geo):
+        with pytest.raises(ValueError):
+            geo.cylinder_of(geo.total_blocks)
+        with pytest.raises(ValueError):
+            geo.cylinder_of(-1)
+
+    def test_transfer_time_requires_positive(self, geo):
+        with pytest.raises(ValueError):
+            geo.transfer_time(0)
+
+
+class TestAddressing:
+    def test_first_block(self, geo):
+        assert geo.decompose(0) == (0, 0, 0)
+        assert geo.cylinder_of(0) == 0
+        assert geo.start_sector_of(0) == 0
+
+    def test_last_block(self, geo):
+        last = geo.total_blocks - 1
+        cyl, surf, in_track = geo.decompose(last)
+        assert cyl == geo.cylinders - 1
+        assert surf == geo.surfaces - 1
+        assert in_track == geo.blocks_per_track - 1
+
+    def test_track_boundary(self, geo):
+        # Block 6 is the first block of surface 1 on cylinder 0.
+        assert geo.decompose(geo.blocks_per_track) == (0, 1, 0)
+
+    def test_cylinder_boundary(self, geo):
+        assert geo.decompose(geo.blocks_per_cylinder) == (1, 0, 0)
+
+    def test_start_angle_range(self, geo):
+        for b in (0, 1, 5, 6, 179, 180):
+            assert 0 <= geo.start_angle_of(b) < 1
+
+    def test_start_angle_of_second_block(self, geo):
+        assert geo.start_angle_of(1) == pytest.approx(8 / 48)
+
+    def test_compose_validation(self, geo):
+        with pytest.raises(ValueError):
+            geo.compose(geo.cylinders, 0, 0)
+        with pytest.raises(ValueError):
+            geo.compose(0, geo.surfaces, 0)
+        with pytest.raises(ValueError):
+            geo.compose(0, 0, geo.blocks_per_track)
+
+    @given(st.integers(min_value=0, max_value=1260 * 180 - 1))
+    def test_decompose_compose_roundtrip(self, block):
+        geo = DiskGeometry()
+        assert geo.compose(*geo.decompose(block)) == block
+
+    @given(
+        st.integers(min_value=0, max_value=1259),
+        st.integers(min_value=0, max_value=29),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_compose_decompose_roundtrip(self, cyl, surf, bit):
+        geo = DiskGeometry()
+        assert geo.decompose(geo.compose(cyl, surf, bit)) == (cyl, surf, bit)
+
+    def test_consecutive_blocks_same_or_next_cylinder(self, geo):
+        """Sequential layout: cylinder number is nondecreasing in block."""
+        prev = 0
+        for b in range(0, geo.total_blocks, 997):
+            cyl = geo.cylinder_of(b)
+            assert cyl >= prev
+            prev = cyl

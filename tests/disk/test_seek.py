@@ -1,0 +1,86 @@
+"""Tests for the seek-time model calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.disk import SeekModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SeekModel.fit()
+
+
+class TestCalibration:
+    def test_reproduces_table1_average(self, model):
+        assert model.average_seek_time() == pytest.approx(11.2, rel=1e-9)
+
+    def test_reproduces_table1_maximum(self, model):
+        assert model.max_seek_time() == pytest.approx(28.0, rel=1e-9)
+
+    def test_zero_distance_is_free(self, model):
+        assert model.seek_time(0) == 0.0
+
+    def test_single_cylinder_is_settle(self, model):
+        assert model.seek_time(1) == pytest.approx(model.c)
+
+    def test_coefficients_positive(self, model):
+        assert model.a > 0
+        assert model.b > 0
+        assert model.c > 0
+
+    def test_monotone_increasing(self, model):
+        d = np.arange(0, 1260)
+        t = model.seek_times(d)
+        assert np.all(np.diff(t) >= 0)
+
+    def test_concave_then_linear_shape(self, model):
+        """Short seeks dominated by sqrt term, long by linear term."""
+        # Marginal cost of a cylinder should fall with distance (concave-ish).
+        short_marginal = model.seek_time(10) - model.seek_time(9)
+        long_marginal = model.seek_time(1000) - model.seek_time(999)
+        assert short_marginal > long_marginal
+
+    def test_negative_distance_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.seek_time(-1)
+        with pytest.raises(ValueError):
+            model.seek_times(np.array([-1.0]))
+
+    def test_vectorised_matches_scalar(self, model):
+        d = np.array([0, 1, 2, 17, 500, 1259])
+        vec = model.seek_times(d)
+        scal = [model.seek_time(int(x)) for x in d]
+        np.testing.assert_allclose(vec, scal)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            SeekModel.fit(cylinders=2)
+        with pytest.raises(ValueError):
+            SeekModel.fit(average_ms=30.0)  # average > maximal
+        with pytest.raises(ValueError):
+            SeekModel.fit(settle_ms=0.0)
+
+    @given(
+        st.floats(min_value=0.5, max_value=4.0),
+        st.floats(min_value=8.0, max_value=15.0),
+    )
+    def test_fit_is_exact_or_refused(self, settle, average):
+        """The fit either reproduces the spec exactly or refuses with a
+        clear error when the parameters imply a non-monotonic curve."""
+        maximal = average * 2.5
+        try:
+            m = SeekModel.fit(average_ms=average, maximal_ms=maximal, settle_ms=settle)
+        except ValueError as err:
+            assert "non-monotonic" in str(err)
+            return
+        assert m.average_seek_time() == pytest.approx(average, rel=1e-6)
+        assert m.max_seek_time() == pytest.approx(maximal, rel=1e-6)
+        assert m.a >= 0 and m.b >= 0
+
+    def test_custom_cylinder_count(self):
+        m = SeekModel.fit(cylinders=2000)
+        assert m.max_seek_time() == pytest.approx(28.0)
+        assert m.seek_time(1999) == pytest.approx(28.0)

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import render_chart
+from repro.experiments.common import ExperimentResult, Series
+
+
+def result_with(series, xlabel="N", **kw):
+    return ExperimentResult(
+        exp_id="figX", title="demo", xlabel=xlabel, ylabel="ms", series=series, **kw
+    )
+
+
+class TestRenderChart:
+    def test_basic_render(self):
+        r = result_with([Series("a", [1, 2, 3], [10.0, 20.0, 15.0])])
+        text = render_chart(r)
+        assert "figX" in text
+        assert "o a" in text  # legend with marker
+        assert text.count("|") >= 32  # plot borders
+
+    def test_markers_differ_per_series(self):
+        r = result_with(
+            [
+                Series("a", [1, 2], [1.0, 2.0]),
+                Series("b", [1, 2], [3.0, 4.0]),
+            ]
+        )
+        text = render_chart(r)
+        assert "o a" in text and "x b" in text
+        body = text.split("\n")[1:-3]
+        joined = "\n".join(body)
+        assert "o" in joined and "x" in joined
+
+    def test_log_x_for_wide_ranges(self):
+        r = result_with([Series("a", [1, 8, 64], [1.0, 2.0, 3.0])], xlabel="su")
+        assert "(log x)" in render_chart(r)
+
+    def test_linear_x_for_narrow_ranges(self):
+        r = result_with([Series("a", [5, 10, 15], [1.0, 2.0, 3.0])])
+        assert "(log x)" not in render_chart(r)
+
+    def test_categorical_x(self):
+        r = result_with([Series("a", ["fcfs", "sstf"], [10.0, 8.0])])
+        text = render_chart(r)
+        assert "fcfs" in text and "sstf" in text
+
+    def test_constant_series_renders(self):
+        r = result_with([Series("a", [1, 2], [5.0, 5.0])])
+        assert "figX" in render_chart(r)
+
+    def test_nan_points_skipped(self):
+        r = result_with([Series("a", [1, 2, 3], [1.0, float("nan"), 3.0])])
+        assert "figX" in render_chart(r)
+
+    def test_empty_series_list(self):
+        r = result_with([])
+        assert "(no series)" in render_chart(r)
+
+    def test_too_small_rejected(self):
+        r = result_with([Series("a", [1], [1.0])])
+        with pytest.raises(ValueError):
+            render_chart(r, width=4)
+        with pytest.raises(ValueError):
+            render_chart(r, height=2)
+
+    def test_axis_labels_present(self):
+        r = result_with([Series("a", [1, 2], [1.0, 2.0])])
+        text = render_chart(r)
+        assert "x: N" in text
+        assert "y: ms" in text
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "x: parameter" in out

@@ -1,0 +1,166 @@
+"""Tests for the experiment registry, CLI and shared machinery."""
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    get_trace,
+    make_config,
+)
+from repro.experiments.__main__ import main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table1", "table2", "table3", "table4"} | {
+            f"fig{i}" for i in range(4, 20)
+        }
+        extensions = {
+            "ext-rebuild",
+            "ext-destage",
+            "ext-parity-grain",
+            "ext-spindle",
+            "ext-scheduler",
+            "ext-reliability",
+        }
+        assert set(EXPERIMENTS) == expected | extensions
+
+    def test_lookup_with_zero_padding(self):
+        assert get_experiment("fig05").exp_id == "fig5"
+        assert get_experiment("FIG5").exp_id == "fig5"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_run_experiment_dispatch(self):
+        results = run_experiment("table4")
+        assert results[0].exp_id == "table4"
+
+
+class TestSeriesAndResult:
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            Series("x", [1, 2], [1.0])
+
+    def test_table_str_renders(self):
+        r = ExperimentResult(
+            exp_id="figX",
+            title="demo",
+            xlabel="N",
+            ylabel="ms",
+            series=[Series("a", [1, 2], [3.0, 4.0]), Series("b", [1, 2], [5.0, 6.0])],
+            notes="hello",
+        )
+        text = r.table_str()
+        assert "figX" in text
+        assert "a" in text and "b" in text
+        assert "hello" in text
+        assert "3.00" in text
+
+    def test_series_by_label(self):
+        r = ExperimentResult("x", "t", "x", "y", [Series("a", [1], [2.0])])
+        assert r.series_by_label("a").ys == [2.0]
+        with pytest.raises(KeyError):
+            r.series_by_label("missing")
+
+    def test_to_dict_roundtrips_through_json(self):
+        r = ExperimentResult("x", "t", "x", "y", [Series("a", [1], [2.0])])
+        blob = json.dumps(r.to_dict())
+        assert json.loads(blob)["series"][0]["label"] == "a"
+
+
+class TestGetTrace:
+    def test_trace1_sliced(self):
+        trace = get_trace(1, scale=0.1)
+        assert trace.ndisks == 60
+
+    def test_trace2_plain(self):
+        trace = get_trace(2, scale=0.1)
+        assert trace.ndisks == 10
+
+    def test_trace2_padded_for_large_n(self):
+        trace = get_trace(2, scale=0.1, n=20)
+        assert trace.ndisks == 20
+        # Traffic still confined to the first 10 disks' addresses.
+        assert trace.lblocks.max() < 10 * trace.blocks_per_disk
+
+    def test_speed_scaling(self):
+        normal = get_trace(2, scale=0.1)
+        fast = get_trace(2, scale=0.1, speed=2.0)
+        assert fast.duration_ms == pytest.approx(normal.duration_ms / 2)
+
+    def test_invalid_trace_id(self):
+        with pytest.raises(ValueError):
+            get_trace(3)
+
+    def test_caching_returns_same_object(self):
+        assert get_trace(2, scale=0.1) is not None
+        # lru_cache: same parameters -> same underlying records object.
+        a = get_trace(2, scale=0.1)
+        b = get_trace(2, scale=0.1)
+        assert a.records is b.records
+
+    def test_make_config(self):
+        trace = get_trace(2, scale=0.1)
+        cfg = make_config("raid5", trace, striping_unit=4)
+        assert cfg.blocks_per_disk == trace.blocks_per_disk
+        assert cfg.striping_unit == 4
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig19" in capsys.readouterr().out
+
+    def test_run_and_json(self, tmp_path, capsys):
+        out_json = tmp_path / "r.json"
+        assert main(["table4", "--json", str(out_json)]) == 0
+        text = capsys.readouterr().out
+        assert "table4" in text
+        data = json.loads(out_json.read_text())
+        assert data[0]["id"] == "table4"
+
+
+class TestDriverShapes:
+    """Tiny-scale structural checks of every figure driver."""
+
+    SCALE = 0.02
+
+    def test_fig6_fig7(self):
+        from repro.experiments.fig06_07_skew import run_fig6, run_fig7
+
+        f6 = run_fig6(self.SCALE)[0]
+        f7 = run_fig7(self.SCALE)[0]
+        assert len(f6.series[0].xs) == 130
+        assert len(f7.series[0].xs) == 143
+
+    def test_fig11_shape(self):
+        from repro.experiments.fig11_hit_ratios import run
+
+        results = run(self.SCALE)
+        assert len(results) == 2
+        assert len(results[0].series) == 4
+
+    def test_fig8_shape(self):
+        from repro.experiments.fig08_striping_unit import run
+
+        results = run(self.SCALE)
+        assert [s.label for s in results[0].series] == ["RAID5"]
+        assert results[0].series[0].xs == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_fig16_shape(self):
+        from repro.experiments.fig15_16_parity_cache import run_fig16
+
+        results = run_fig16(self.SCALE)
+        assert len(results) == 2
+        assert {s.label for s in results[0].series} == {"RAID5", "RAID4-PC"}

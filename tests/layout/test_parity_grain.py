@@ -1,0 +1,112 @@
+"""Tests for fine-grained parity striping (the paper's extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import ParityStripingLayout, WriteMode
+
+
+class TestValidation:
+    def test_grain_must_divide_area(self):
+        # Area = 240 / 5 = 48.
+        with pytest.raises(ValueError):
+            ParityStripingLayout(4, 240, parity_grain=7)
+        with pytest.raises(ValueError):
+            ParityStripingLayout(4, 240, parity_grain=0)
+
+    def test_valid_grains(self):
+        for grain in (1, 2, 4, 8, 16, 48):
+            ParityStripingLayout(4, 240, parity_grain=grain)
+
+
+class TestMappingInvariants:
+    @pytest.mark.parametrize("grain", [1, 4, 16])
+    def test_data_mapping_unchanged(self, grain):
+        """The whole point: data stays fully sequential; only the parity
+        location rotates."""
+        classic = ParityStripingLayout(4, 240)
+        grained = ParityStripingLayout(4, 240, parity_grain=grain)
+        for lb in range(classic.logical_blocks):
+            assert classic.map_block(lb) == grained.map_block(lb)
+
+    @pytest.mark.parametrize("grain", [1, 4, 16])
+    def test_parity_never_on_own_disk(self, grain):
+        layout = ParityStripingLayout(4, 240, parity_grain=grain)
+        for lb in range(layout.logical_blocks):
+            assert layout.parity_of(lb).disk != layout.map_block(lb).disk
+
+    @pytest.mark.parametrize("grain", [1, 4])
+    def test_parity_in_parity_area(self, grain):
+        layout = ParityStripingLayout(4, 240, parity_grain=grain)
+        base = layout.parity_area_index * layout.area_blocks
+        for lb in range(0, layout.logical_blocks, 7):
+            p = layout.parity_of(lb)
+            assert base <= p.block < base + layout.area_blocks
+
+    @pytest.mark.parametrize("grain", [1, 4])
+    def test_group_membership_consistent(self, grain):
+        """members_of_group is the exact inverse of group_of at every
+        offset chunk."""
+        layout = ParityStripingLayout(4, 240, parity_grain=grain)
+        for off in range(0, layout.area_blocks, grain):
+            for g in range(5):
+                members = layout.members_of_group(g, off)
+                assert len(members) == 4
+                assert {d for d, _ in members} == set(range(5)) - {g}
+                for d, k in members:
+                    assert layout.group_of(d, k, off) == g
+
+    def test_parity_load_spreads_across_disks(self):
+        """One disk's data updates hammer a single parity disk under
+        classic striping but spread over all others with a fine grain."""
+        classic = ParityStripingLayout(4, 240)
+        grained = ParityStripingLayout(4, 240, parity_grain=1)
+        # All updates to data area 0 of disk 0.
+        lbs = np.arange(0, 48)
+        classic_disks = {classic.parity_of(int(lb)).disk for lb in lbs}
+        grained_disks = {grained.parity_of(int(lb)).disk for lb in lbs}
+        assert len(classic_disks) == 1
+        assert grained_disks == {1, 2, 3, 4}
+
+    @given(st.integers(min_value=0, max_value=4 * 240 - 1), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=150)
+    def test_roundtrip_property(self, lb, grain):
+        layout = ParityStripingLayout(4, 240, parity_grain=grain)
+        addr = layout.map_block(lb)
+        assert layout.logical_of(addr.disk, addr.block) == lb
+
+
+class TestWritePlan:
+    def test_plan_splits_at_grain_boundaries(self):
+        layout = ParityStripingLayout(4, 240, parity_grain=4)
+        plan = layout.write_plan(2, 6)  # offsets 2..7 cross grain at 4
+        assert len(plan) == 2
+        assert plan[0].data_runs[0].nblocks == 2
+        assert plan[1].data_runs[0].nblocks == 4
+        # Different grain chunks may use different parity disks.
+        assert all(g.mode is WriteMode.RMW for g in plan)
+
+    def test_plan_parity_matches_parity_of(self):
+        layout = ParityStripingLayout(4, 240, parity_grain=2)
+        for lb in (0, 3, 50, 100):
+            plan = layout.write_plan(lb, 1)
+            p = layout.parity_of(lb)
+            assert plan[0].parity_runs[0].disk == p.disk
+            assert plan[0].parity_runs[0].start == p.block
+
+    @given(
+        st.integers(min_value=0, max_value=4 * 240 - 16),
+        st.integers(min_value=1, max_value=16),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=100)
+    def test_block_conservation(self, start, n, grain):
+        layout = ParityStripingLayout(4, 240, parity_grain=grain)
+        plan = layout.write_plan(start, n)
+        assert sum(sum(r.nblocks for r in g.data_runs) for g in plan) == n
+        for g in plan:
+            assert sum(r.nblocks for r in g.parity_runs) == sum(
+                r.nblocks for r in g.data_runs
+            )

@@ -1,0 +1,89 @@
+"""Tests for the reliability model (paper introduction arithmetic)."""
+
+import pytest
+
+from repro.models import ReliabilityModel, storage_overhead
+
+
+class TestPaperIntroFigure:
+    def test_150_disks_mttf_below_28_days(self):
+        """The intro: >150 disks at 100,000 h MTTF -> subsystem MTTF
+        under 28 days."""
+        model = ReliabilityModel(disk_mttf_hours=100_000.0)
+        days = model.paper_intro_check(150)
+        assert days < 28.0
+        assert days == pytest.approx(100_000 / 150 / 24, rel=1e-9)
+
+    def test_fewer_disks_longer(self):
+        model = ReliabilityModel()
+        assert model.paper_intro_check(10) > model.paper_intro_check(150)
+
+
+class TestFormulas:
+    @pytest.fixture
+    def model(self):
+        return ReliabilityModel(disk_mttf_hours=100_000.0, mttr_hours=24.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityModel(disk_mttf_hours=0)
+        with pytest.raises(ValueError):
+            ReliabilityModel(mttr_hours=0)
+        with pytest.raises(ValueError):
+            ReliabilityModel(disk_mttf_hours=10.0, mttr_hours=10.0)
+
+    def test_mirrored_pair(self, model):
+        assert model.mirrored_pair_mttdl() == pytest.approx(1e10 / 48)
+
+    def test_parity_group(self, model):
+        assert model.parity_group_mttdl(11) == pytest.approx(1e10 / (11 * 10 * 24))
+
+    def test_group_size_validation(self, model):
+        with pytest.raises(ValueError):
+            model.parity_group_mttdl(1)
+        with pytest.raises(ValueError):
+            model.any_disk_failure_mttf(0)
+
+    def test_redundancy_beats_base_by_orders_of_magnitude(self, model):
+        base = model.system_mttdl("base", 130, 10)
+        raid5 = model.system_mttdl("raid5", 130, 10)
+        mirror = model.system_mttdl("mirror", 130, 10)
+        assert raid5 > 100 * base
+        assert mirror > raid5  # fewer disks per redundancy group
+
+    def test_larger_groups_less_reliable(self, model):
+        """§4.2.1: 'large arrays are less reliable'."""
+        small = model.system_mttdl("raid5", 120, 5)
+        large = model.system_mttdl("raid5", 120, 20)
+        assert small > large
+
+    def test_system_scaling(self, model):
+        one = model.system_mttdl("raid5", 10, 10)
+        thirteen = model.system_mttdl("raid5", 130, 10)
+        assert one == pytest.approx(13 * thirteen)
+
+    def test_all_parity_orgs_equal(self, model):
+        r5 = model.system_mttdl("raid5", 100, 10)
+        assert model.system_mttdl("raid4", 100, 10) == r5
+        assert model.system_mttdl("parity_striping", 100, 10) == r5
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.system_mttdl("raid6", 100, 10)
+        with pytest.raises(ValueError):
+            model.system_mttdl("raid5", 105, 10)
+
+
+class TestStorageOverhead:
+    def test_paper_tradeoff(self):
+        """Mirrors: 'prohibitive' 100%; arrays: 1/N."""
+        assert storage_overhead("mirror", 10) == 1.0
+        assert storage_overhead("raid5", 10) == pytest.approx(0.1)
+        assert storage_overhead("parity_striping", 5) == pytest.approx(0.2)
+        assert storage_overhead("base", 10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            storage_overhead("raid5", 0)
+        with pytest.raises(ValueError):
+            storage_overhead("raid9", 10)

@@ -1,0 +1,61 @@
+"""Tests for the trace toolbox CLI."""
+
+import pytest
+
+from repro.trace.__main__ import main
+from repro.trace.io_ import load_npz
+
+
+@pytest.fixture
+def t2_npz(tmp_path):
+    out = tmp_path / "t2.npz"
+    assert main(["generate", "--preset", "trace2", "--scale", "0.02", "--out", str(out)]) == 0
+    return out
+
+
+class TestGenerate:
+    def test_generates_npz(self, t2_npz):
+        trace = load_npz(t2_npz)
+        assert trace.ndisks == 10
+        assert len(trace) == pytest.approx(69539 * 0.02, rel=0.01)
+
+    def test_generate_text(self, tmp_path):
+        out = tmp_path / "t.txt"
+        main(["generate", "--preset", "trace2", "--scale", "0.005", "--out", str(out)])
+        lines = out.read_text().strip().split("\n")
+        assert len(lines) >= 69539 * 0.005
+
+
+class TestStats:
+    def test_stats_prints_table(self, t2_npz, capsys):
+        assert main(["stats", str(t2_npz)]) == 0
+        out = capsys.readouterr().out
+        assert "# of I/O accesses" in out
+
+    def test_stats_text_requires_ndisks(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1.0 5 r\n")
+        with pytest.raises(SystemExit):
+            main(["stats", str(path)])
+        assert main(["stats", str(path), "--ndisks", "10"]) == 0
+
+
+class TestConvert:
+    def test_npz_to_text_and_back(self, t2_npz, tmp_path):
+        txt = tmp_path / "t.txt"
+        back = tmp_path / "back.npz"
+        assert main(["convert", str(t2_npz), str(txt)]) == 0
+        assert main(["convert", str(txt), str(back), "--ndisks", "10"]) == 0
+        a = load_npz(t2_npz)
+        b = load_npz(back)
+        assert len(a) == len(b)
+        assert list(a.lblocks[:50]) == list(b.lblocks[:50])
+
+
+class TestSpeed:
+    def test_speed_halves_duration(self, t2_npz, tmp_path):
+        out = tmp_path / "fast.npz"
+        assert main(["speed", str(t2_npz), str(out), "--factor", "2"]) == 0
+        a = load_npz(t2_npz)
+        b = load_npz(out)
+        assert b.duration_ms == pytest.approx(a.duration_ms / 2)
