@@ -80,6 +80,8 @@ class CachedController(ArrayController):
     # ------------------------------------------------------------------
     def handle(self, lstart: int, nblocks: int, is_write: bool):
         self.requests_handled += 1
+        if self.probe is not None:
+            self.probe.on_handle(self, lstart, nblocks, is_write)
         if is_write:
             return self._handle_write(lstart, nblocks)
         return self._handle_read(lstart, nblocks)
@@ -320,6 +322,8 @@ class CachedController(ArrayController):
             yield from self._destage_parity(run, priority)
 
         self.destaged_blocks += run.nblocks
+        if self.probe is not None:
+            self.probe.on_destage(self, run)
         for lblock in run.lblocks:
             self.cache.finish_destage(lblock)
         self._notify_slot()
@@ -353,8 +357,11 @@ class CachedController(ArrayController):
             )
             gate = data_req.read_complete
 
+        pruns = self._parity_runs_for(run)
+        if self.probe is not None:
+            self.probe.on_parity_update(self, run, pruns)
         parity_done = []
-        for prun in self._parity_runs_for(run):
+        for prun in pruns:
             preq = self.disks[prun.disk].submit(
                 DiskRequest(
                     AccessKind.RMW,
@@ -384,8 +391,11 @@ class CachedController(ArrayController):
         parity disk, as the paper describes.
         """
         env = self.env
+        pruns = self._parity_runs_for(run)
+        if self.probe is not None:
+            self.probe.on_parity_update(self, run, pruns)
         direct_parity: list[Run] = []
-        for prun in self._parity_runs_for(run):
+        for prun in pruns:
             for pblock in range(prun.start, prun.end):
                 while not self.parity_queue.add(
                     pblock, full=full_map.get(pblock, False)

@@ -52,6 +52,11 @@ class ArrayController(ABC):
         self.channel = channel
         self.config = config
         self.requests_handled = 0
+        #: Optional validation tap (``repro.validate``): an object with
+        #: ``on_handle(controller, lstart, nblocks, is_write)`` and
+        #: ``on_destage(controller, run)``.  ``None`` keeps request
+        #: admission at one identity check.
+        self.probe = None
 
     @property
     def block_bytes(self) -> int:

@@ -102,6 +102,15 @@ class _DegradedMixin:
         self.degraded_reads = 0
         self.degraded_writes = 0
 
+    def _note_degraded(self, kind: str) -> None:
+        """Count a degraded access and notify the validation tap."""
+        if kind == "read":
+            self.degraded_reads += 1
+        else:
+            self.degraded_writes += 1
+        if self.probe is not None:
+            self.probe.on_degraded(self, kind)
+
     def _is_failed(self, disk: int, pblock: int) -> bool:
         """True if this physical block is currently unreadable."""
         if disk != self.failed_disk:
@@ -127,7 +136,7 @@ class DegradedParityController(_DegradedMixin, UncachedParityController):
         if not degraded:
             yield from super()._read_run(run)
             return
-        self.degraded_reads += 1
+        self._note_degraded("read")
         procs = []
         healthy = [
             pb for pb in range(run.start, run.end) if not self._is_failed(run.disk, pb)
@@ -167,7 +176,7 @@ class DegradedParityController(_DegradedMixin, UncachedParityController):
         if not touches_failed:
             yield from super()._rmw(group)
             return
-        self.degraded_writes += 1
+        self._note_degraded("write")
         yield from self._degraded_update(group)
 
     def _degraded_update(self, group: WriteGroup) -> Generator[Event, None, None]:
@@ -240,7 +249,7 @@ class DegradedMirrorController(_DegradedMixin, UncachedMirrorController):
 
     def _pick_read_disk(self, run: Run) -> Disk:
         if self._is_failed(run.disk, run.start):
-            self.degraded_reads += 1
+            self._note_degraded("read")
             return self.disks[self.mlayout.mirror_of(run.disk)]
         partner = self.mlayout.mirror_of(run.disk)
         if self._is_failed(partner, run.start):
@@ -253,7 +262,7 @@ class DegradedMirrorController(_DegradedMixin, UncachedMirrorController):
         for run in group.data_runs:
             for disk_idx in (run.disk, self.mlayout.mirror_of(run.disk)):
                 if self._is_failed(disk_idx, run.start):
-                    self.degraded_writes += 1
+                    self._note_degraded("write")
                     continue
                 req = self.disks[disk_idx].submit(
                     DiskRequest(AccessKind.WRITE, run.start, run.nblocks)

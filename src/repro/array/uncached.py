@@ -55,6 +55,8 @@ class _UncachedController(ArrayController):
     # -- reads ---------------------------------------------------------------
     def handle(self, lstart: int, nblocks: int, is_write: bool):
         self.requests_handled += 1
+        if self.probe is not None:
+            self.probe.on_handle(self, lstart, nblocks, is_write)
         if is_write:
             return self._handle_write(lstart, nblocks)
         return self._handle_read(lstart, nblocks)
@@ -98,6 +100,8 @@ class _UncachedController(ArrayController):
         return len(group.data_runs) + len(group.read_runs) + len(group.parity_runs)
 
     def _write_group(self, group: WriteGroup) -> Generator[Event, None, None]:
+        if self.probe is not None:
+            self.probe.on_write_group(self, group)
         nbuf = self._group_buffers(group)
         yield from self.buffers.acquire(nbuf)
         try:

@@ -69,6 +69,9 @@ class LRUCache:
         self._dirty: set[int] = set()
         self._old_copies = 0
         self._reserved = 0
+        #: Optional validation tap (``repro.validate``): an object with
+        #: ``on_cache_op(cache, op, arg)`` called after every mutation.
+        self.probe = None
         # Statistics.  Hit/miss counters are maintained by the cache's
         # *owner* at request granularity (a multiblock access is one hit
         # or one miss, §3.4) — the per-block mutation methods below do
@@ -112,6 +115,8 @@ class LRUCache:
         if self.free_slots < k:
             return False
         self._reserved += k
+        if self.probe is not None:
+            self.probe.on_cache_op(self, "reserve", k)
         return True
 
     def release_slots(self, k: int = 1) -> None:
@@ -119,6 +124,8 @@ class LRUCache:
         if k < 0 or k > self._reserved:
             raise ValueError(f"cannot release {k} of {self._reserved} reserved slots")
         self._reserved -= k
+        if self.probe is not None:
+            self.probe.on_cache_op(self, "release", k)
 
     # -- lookups ---------------------------------------------------------------
     def get(self, lblock: int) -> Optional[CacheEntry]:
@@ -149,6 +156,8 @@ class LRUCache:
         if self.free_slots < 1:
             raise RuntimeError("no free slot; evict first")
         self._entries[lblock] = CacheEntry(BlockState.CLEAN)
+        if self.probe is not None:
+            self.probe.on_cache_op(self, "insert_clean", lblock)
 
     def write(self, lblock: int) -> bool:
         """Record a write to *lblock*; True on hit.
@@ -171,11 +180,15 @@ class LRUCache:
                     self._old_copies += 1
             elif entry.destaging:
                 entry.redirtied = True
+            if self.probe is not None:
+                self.probe.on_cache_op(self, "write", lblock)
             return True
         if self.free_slots < 1:
             raise RuntimeError("no free slot; evict first")
         self._entries[lblock] = CacheEntry(BlockState.DIRTY)
         self._dirty.add(lblock)
+        if self.probe is not None:
+            self.probe.on_cache_op(self, "write", lblock)
         return False
 
     def lru_block(self) -> Optional[tuple[int, CacheEntry]]:
@@ -206,6 +219,8 @@ class LRUCache:
             self._old_copies -= 1
         del self._entries[lblock]
         self.evictions += 1
+        if self.probe is not None:
+            self.probe.on_cache_op(self, "evict", lblock)
 
     # -- destage bookkeeping ---------------------------------------------------------
     def begin_destage(self, lblock: int) -> CacheEntry:
@@ -217,6 +232,8 @@ class LRUCache:
             raise RuntimeError(f"block {lblock} already destaging")
         entry.destaging = True
         entry.redirtied = False
+        if self.probe is not None:
+            self.probe.on_cache_op(self, "begin_destage", lblock)
         return entry
 
     def finish_destage(self, lblock: int) -> None:
@@ -242,6 +259,8 @@ class LRUCache:
         else:
             entry.state = BlockState.CLEAN
             self._dirty.discard(lblock)
+        if self.probe is not None:
+            self.probe.on_cache_op(self, "finish_destage", lblock)
 
     def dirty_blocks(self, include_destaging: bool = False) -> list[int]:
         """Dirty block numbers (unordered; destage sorts physically)."""

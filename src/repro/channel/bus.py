@@ -41,6 +41,9 @@ class Channel:
         self.bytes_transferred = 0
         self.transfers = 0
         self.queue_length = TimeWeighted(env.now, 0.0)
+        #: Optional validation tap (``repro.validate``): an object with
+        #: ``on_channel_transfer(channel, nbytes, duration)``.
+        self.probe = None
 
     def transfer_time(self, nbytes: int) -> float:
         """Pure wire time for *nbytes* in ms."""
@@ -63,6 +66,8 @@ class Channel:
             self.busy_time += duration
             self.bytes_transferred += nbytes
             self.transfers += 1
+            if self.probe is not None:
+                self.probe.on_channel_transfer(self, nbytes, duration)
         return env.now
 
     def utilization(self, now: float | None = None) -> float:

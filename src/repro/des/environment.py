@@ -10,12 +10,15 @@ simulation run bit-for-bit reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Optional, Union
+from typing import Any, Callable, Generator, Optional, Union
 
 from repro.des.events import Event, Timeout
 from repro.des.process import Process
 
 __all__ = ["Environment", "EmptySchedule"]
+
+#: Signature of an event observer: ``hook(time, event)``.
+EventHook = Callable[[float, Event], None]
 
 
 class EmptySchedule(Exception):
@@ -38,6 +41,10 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        # Observer hooks, called as ``hook(time, event)`` for every
+        # processed event.  ``None`` (the default) keeps the hot path to
+        # a single identity check per step.
+        self._event_hooks: Optional[list[EventHook]] = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -49,6 +56,29 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_proc
+
+    # -- observation -------------------------------------------------------
+    def on_event(self, hook: EventHook) -> EventHook:
+        """Register *hook* to be called for every processed event.
+
+        The hook runs as ``hook(time, event)`` immediately after the
+        clock advances and before the event's callbacks fire.  Hooks are
+        the kernel's only observation point; the validation subsystem
+        uses them to check the ``(time, sequence)`` ordering contract.
+        Returns the hook so it can be passed to :meth:`off_event`.
+        """
+        if self._event_hooks is None:
+            self._event_hooks = []
+        self._event_hooks.append(hook)
+        return hook
+
+    def off_event(self, hook: EventHook) -> None:
+        """Unregister a hook added with :meth:`on_event`."""
+        if self._event_hooks is None or hook not in self._event_hooks:
+            raise ValueError("hook is not registered")
+        self._event_hooks.remove(hook)
+        if not self._event_hooks:
+            self._event_hooks = None
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -72,6 +102,10 @@ class Environment:
             self._now, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+
+        if self._event_hooks is not None:
+            for hook in self._event_hooks:
+                hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"

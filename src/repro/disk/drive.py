@@ -73,6 +73,11 @@ class Disk:
         self.cylinder = 0
         self._wakeup: Optional[Event] = None
         self._current: Optional[DiskRequest] = None
+        #: Optional validation tap (``repro.validate``): an object with
+        #: ``on_disk_submit(disk, request)`` / ``on_disk_complete(disk,
+        #: request)``.  ``None`` keeps the data path at one identity
+        #: check per call.
+        self.probe = None
 
         # -- statistics --
         self.busy_time = 0.0
@@ -92,6 +97,8 @@ class Disk:
         request.attach(self.env)
         self.scheduler.put(request)
         self.queue_length.add(self.env.now, +1)
+        if self.probe is not None:
+            self.probe.on_disk_submit(self, request)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return request
@@ -148,6 +155,8 @@ class Disk:
             if finished:
                 self.completed += 1
                 self.blocks_transferred += request.nblocks
+                if self.probe is not None:
+                    self.probe.on_disk_complete(self, request)
             self._current = None
 
     def _service(self, request: DiskRequest) -> Generator[Event, None, bool]:

@@ -28,6 +28,8 @@ def run_trace(
     warmup_fraction: float = 0.1,
     keep_samples: bool = True,
     name: Optional[str] = None,
+    validate: bool = False,
+    checkers=None,
 ) -> RunResult:
     """Simulate *trace* on a system built from *config*.
 
@@ -39,6 +41,16 @@ def run_trace(
     keep_samples:
         Store every response time (enables percentiles; disable for very
         long runs).
+    validate:
+        Attach a :class:`~repro.validate.ValidationMonitor` for the run:
+        invariant checkers observe every disk access, channel transfer
+        and cache mutation and raise
+        :class:`~repro.validate.InvariantViolation` on the first breach.
+        Off by default — the unmonitored hot path costs one identity
+        check per tap.
+    checkers:
+        Checker instances for the monitor (requires ``validate=True``);
+        ``None`` selects the stock set.
 
     Returns
     -------
@@ -51,11 +63,20 @@ def run_trace(
         )
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if checkers is not None and not validate:
+        raise ValueError("checkers were supplied but validate is False")
     narrays = config.arrays_for(trace.ndisks)
 
     env = Environment()
     system = build_system(env, config, narrays)
     warmup_ms = trace.duration_ms * warmup_fraction
+
+    monitor = None
+    if validate:
+        from repro.validate.monitor import ValidationMonitor
+
+        monitor = ValidationMonitor(checkers)
+        monitor.attach(env, system.controllers, warmup_ms)
 
     result = RunResult(
         name=name or trace.name,
@@ -73,7 +94,7 @@ def run_trace(
     # run ends when the last request completes, not when the event queue
     # drains.
     progress = _Progress(len(trace), Event(env))
-    env.process(_source(env, system, trace, warmup_ms, result, progress))
+    env.process(_source(env, system, trace, warmup_ms, result, progress, monitor))
     if len(trace):
         env.run(until=progress.all_done)
     result.simulated_ms = env.now
@@ -95,6 +116,8 @@ def run_trace(
             metrics.sync_writebacks = controller.sync_writebacks
             metrics.destaged_blocks = controller.destaged_blocks
         result.arrays.append(metrics)
+    if monitor is not None:
+        monitor.finalize(result)
     return result
 
 
@@ -120,6 +143,7 @@ def _source(
     warmup_ms: float,
     result: RunResult,
     progress: "_Progress",
+    monitor=None,
 ) -> Generator[Event, None, None]:
     """Release requests at their trace arrival times."""
     records = trace.records
@@ -131,6 +155,8 @@ def _source(
         t = float(times[i])
         if t > env.now:
             yield env.timeout(t - env.now)
+        if monitor is not None:
+            monitor.request_released(i, env.now)
         env.process(
             _request(
                 env,
@@ -141,6 +167,8 @@ def _source(
                 warmup_ms,
                 result,
                 progress,
+                monitor,
+                i,
             )
         )
 
@@ -154,6 +182,8 @@ def _request(
     warmup_ms: float,
     result: RunResult,
     progress: "_Progress",
+    monitor=None,
+    rid: int = -1,
 ) -> Generator[Event, None, None]:
     """Service one trace request, splitting across arrays if needed."""
     t0 = env.now
@@ -177,6 +207,8 @@ def _request(
         ]
         yield AllOf(env, procs)
 
+    if monitor is not None:
+        monitor.request_completed(rid, env.now)
     if t0 >= warmup_ms:
         rt = env.now - t0
         result.response.observe(rt)

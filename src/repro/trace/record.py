@@ -96,6 +96,10 @@ class Trace:
         if ndisks < 1 or blocks_per_disk < 1:
             raise ValueError("ndisks and blocks_per_disk must be positive")
         if len(records):
+            # NaN compares false against everything, so the ordering and
+            # sign checks below would silently pass a poisoned trace.
+            if not np.isfinite(records["time"]).all():
+                raise ValueError("arrival times must be finite")
             if np.any(np.diff(records["time"]) < 0):
                 raise ValueError("records must be sorted by time")
             if records["time"][0] < 0:

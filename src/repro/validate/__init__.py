@@ -1,0 +1,55 @@
+"""Simulation validation: invariant checking, replay and golden regression.
+
+Opt-in (``run_trace(..., validate=True)``) runtime verification of the
+simulator's physics:
+
+* :class:`ValidationMonitor` installs passive probes across the kernel,
+  disks, channels, caches and controllers, and fans events out to
+  pluggable :class:`InvariantChecker` s;
+* the stock checkers guard request conservation, parity-group
+  consistency, cache accounting and resource sanity;
+* :func:`verify_replay` enforces the determinism contract (same seed ⇒
+  bit-identical results);
+* :mod:`repro.validate.golden` snapshots results for regression
+  fixtures under ``tests/golden/``.
+
+The probes cost one ``is not None`` check per tap when validation is
+off, so the default path is unaffected.
+"""
+
+from repro.validate.cache_accounting import CacheAccountingChecker
+from repro.validate.checker import CheckContext, InvariantChecker, InvariantViolation
+from repro.validate.conservation import RequestConservationChecker
+from repro.validate.golden import (
+    GoldenMismatch,
+    compare_snapshots,
+    diff_snapshots,
+    load_snapshot,
+    save_snapshot,
+    snapshot,
+)
+from repro.validate.monitor import ValidationMonitor, default_checkers
+from repro.validate.parity import ParityConsistencyChecker
+from repro.validate.replay import ReplayMismatch, result_fingerprint, verify_replay
+from repro.validate.resources import ResourceSanityChecker
+
+__all__ = [
+    "CacheAccountingChecker",
+    "CheckContext",
+    "InvariantChecker",
+    "InvariantViolation",
+    "RequestConservationChecker",
+    "GoldenMismatch",
+    "compare_snapshots",
+    "diff_snapshots",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot",
+    "ValidationMonitor",
+    "default_checkers",
+    "ParityConsistencyChecker",
+    "ReplayMismatch",
+    "result_fingerprint",
+    "verify_replay",
+    "ResourceSanityChecker",
+]

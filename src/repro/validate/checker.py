@@ -1,0 +1,133 @@
+"""Invariant-checker framework.
+
+A checker is a passive observer: the :class:`~repro.validate.monitor.
+ValidationMonitor` fans simulation events out to every attached checker
+(disk submissions/completions, channel transfers, cache mutations,
+request admissions, destages, degraded accesses, request release and
+completion), and calls :meth:`InvariantChecker.finalize` once the run
+ends.  A checker that sees physics violated raises
+:class:`InvariantViolation` with enough context to debug the run.
+
+Checkers must never mutate simulation state — they exist so that a
+``validate=True`` run is *observationally identical* to a normal run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.array.controller import ArrayController
+    from repro.cache.lru import LRUCache
+    from repro.channel.bus import Channel
+    from repro.des import Environment
+    from repro.disk.drive import Disk
+    from repro.disk.request import DiskRequest
+    from repro.sim.results import RunResult
+
+__all__ = ["InvariantViolation", "CheckContext", "InvariantChecker"]
+
+
+class InvariantViolation(AssertionError):
+    """A machine-checked simulation invariant failed.
+
+    Derives from :class:`AssertionError`: a violation is a bug in the
+    simulator (or an injected fault), never a property of the workload.
+    """
+
+    def __init__(self, checker: str, message: str) -> None:
+        super().__init__(f"[{checker}] {message}")
+        self.checker = checker
+
+
+class CheckContext:
+    """What every checker can see: the environment, the controllers and
+    the placement of each disk within its array.
+
+    Parameters
+    ----------
+    env, controllers:
+        The simulation under observation.
+    warmup_ms:
+        Statistics cutoff of the run (requests released earlier are
+        simulated but not measured).
+    """
+
+    def __init__(self, env: "Environment", controllers, warmup_ms: float = 0.0) -> None:
+        self.env = env
+        self.controllers = list(controllers)
+        self.warmup_ms = warmup_ms
+        #: ``disk -> (array_index, disk_index, controller)`` for every
+        #: disk of every attached array (identity-keyed).
+        self.disk_info: dict[Any, tuple[int, int, "ArrayController"]] = {}
+        for ai, ctrl in enumerate(self.controllers):
+            for di, disk in enumerate(ctrl.disks):
+                self.disk_info[disk] = (ai, di, ctrl)
+
+    def array_of(self, controller: "ArrayController") -> int:
+        """Index of *controller* among the attached arrays."""
+        return self.controllers.index(controller)
+
+
+class InvariantChecker:
+    """Base class: every callback defaults to a no-op.
+
+    Subclasses set :attr:`name` (used in violation messages), override
+    the callbacks they care about, and implement :meth:`finalize`.
+    """
+
+    name = "invariant"
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, ctx: CheckContext) -> None:
+        """Called once before the run starts."""
+
+    def finalize(self, ctx: CheckContext, result: Optional["RunResult"]) -> None:
+        """Called once after the run ends (*result* may be ``None`` when
+        the monitor is used outside :func:`repro.sim.runner.run_trace`)."""
+
+    # -- simulation taps -----------------------------------------------------
+    def on_disk_submit(self, ctx: CheckContext, disk: "Disk", request: "DiskRequest") -> None:
+        pass
+
+    def on_disk_complete(self, ctx: CheckContext, disk: "Disk", request: "DiskRequest") -> None:
+        pass
+
+    def on_channel_transfer(
+        self, ctx: CheckContext, channel: "Channel", nbytes: int, duration: float
+    ) -> None:
+        pass
+
+    def on_cache_op(self, ctx: CheckContext, cache: "LRUCache", op: str, arg: int) -> None:
+        pass
+
+    def on_handle(
+        self, ctx: CheckContext, controller: "ArrayController",
+        lstart: int, nblocks: int, is_write: bool,
+    ) -> None:
+        pass
+
+    def on_destage(self, ctx: CheckContext, controller: "ArrayController", run) -> None:
+        pass
+
+    def on_write_group(self, ctx: CheckContext, controller: "ArrayController", group) -> None:
+        pass
+
+    def on_parity_update(
+        self, ctx: CheckContext, controller: "ArrayController", run, parity_runs
+    ) -> None:
+        pass
+
+    def on_degraded(self, ctx: CheckContext, controller: "ArrayController", kind: str) -> None:
+        pass
+
+    def on_request_released(self, ctx: CheckContext, rid: int, time: float) -> None:
+        pass
+
+    def on_request_completed(self, ctx: CheckContext, rid: int, time: float) -> None:
+        pass
+
+    # -- helpers -------------------------------------------------------------
+    def fail(self, message: str) -> None:
+        """Raise an :class:`InvariantViolation` attributed to this checker."""
+        raise InvariantViolation(self.name, message)

@@ -1,0 +1,170 @@
+"""The validation monitor: probe installation and event fan-out.
+
+:class:`ValidationMonitor` is the single object the simulator knows
+about.  :meth:`~ValidationMonitor.attach` installs it as the probe of
+every disk, channel, cache and controller of the system and registers a
+kernel event hook; each notification is fanned out to the attached
+checkers.  :meth:`~ValidationMonitor.finalize` gives every checker its
+end-of-run audit and then detaches all probes, so a monitored system
+can keep running unobserved afterwards.
+
+The monitor also owns one invariant itself: the kernel's clock must
+never run backwards (the ``(time, sequence)`` heap contract).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.validate.checker import CheckContext, InvariantChecker, InvariantViolation
+
+__all__ = ["ValidationMonitor", "default_checkers"]
+
+
+def default_checkers() -> list[InvariantChecker]:
+    """One instance of each stock checker."""
+    from repro.validate.cache_accounting import CacheAccountingChecker
+    from repro.validate.conservation import RequestConservationChecker
+    from repro.validate.parity import ParityConsistencyChecker
+    from repro.validate.resources import ResourceSanityChecker
+
+    return [
+        RequestConservationChecker(),
+        ParityConsistencyChecker(),
+        CacheAccountingChecker(),
+        ResourceSanityChecker(),
+    ]
+
+
+class ValidationMonitor:
+    """Fans simulation events out to a set of invariant checkers.
+
+    Parameters
+    ----------
+    checkers:
+        The checkers to run; ``None`` selects the four stock checkers
+        (conservation, parity, cache accounting, resource sanity).
+    """
+
+    def __init__(self, checkers: Optional[Iterable[InvariantChecker]] = None) -> None:
+        self.checkers = list(checkers) if checkers is not None else default_checkers()
+        self.ctx: Optional[CheckContext] = None
+        self._hook = None
+        self._last_event_time = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, env, controllers: Sequence, warmup_ms: float = 0.0) -> "ValidationMonitor":
+        """Install probes on *controllers* and their resources."""
+        if self.ctx is not None:
+            raise RuntimeError("monitor is already attached")
+        self.ctx = CheckContext(env, controllers, warmup_ms)
+        self._last_event_time = env.now
+        for ctrl in self.ctx.controllers:
+            ctrl.probe = self
+            ctrl.channel.probe = self
+            for disk in ctrl.disks:
+                disk.probe = self
+            cache = getattr(ctrl, "cache", None)
+            if cache is not None:
+                cache.probe = self
+        self._hook = env.on_event(self._on_kernel_event)
+        for checker in self.checkers:
+            checker.attach(self.ctx)
+        return self
+
+    def finalize(self, result=None) -> None:
+        """Run every checker's end-of-run audit, then detach."""
+        ctx = self._require_ctx()
+        try:
+            for checker in self.checkers:
+                checker.finalize(ctx, result)
+        finally:
+            self.detach()
+
+    def detach(self) -> None:
+        """Remove all probes; the system continues unobserved."""
+        if self.ctx is None:
+            return
+        for ctrl in self.ctx.controllers:
+            ctrl.probe = None
+            ctrl.channel.probe = None
+            for disk in ctrl.disks:
+                disk.probe = None
+            cache = getattr(ctrl, "cache", None)
+            if cache is not None:
+                cache.probe = None
+        if self._hook is not None:
+            self.ctx.env.off_event(self._hook)
+            self._hook = None
+        self.ctx = None
+
+    def _require_ctx(self) -> CheckContext:
+        if self.ctx is None:
+            raise RuntimeError("monitor is not attached")
+        return self.ctx
+
+    # -- kernel hook -----------------------------------------------------------
+    def _on_kernel_event(self, time: float, event) -> None:
+        if time < self._last_event_time:
+            raise InvariantViolation(
+                "event-order",
+                f"clock ran backwards: event at {time:g} after {self._last_event_time:g}",
+            )
+        self._last_event_time = time
+
+    # -- probe interface (called by the instrumented simulator) ---------------
+    def on_disk_submit(self, disk, request) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_disk_submit(ctx, disk, request)
+
+    def on_disk_complete(self, disk, request) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_disk_complete(ctx, disk, request)
+
+    def on_channel_transfer(self, channel, nbytes, duration) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_channel_transfer(ctx, channel, nbytes, duration)
+
+    def on_cache_op(self, cache, op: str, arg: int) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_cache_op(ctx, cache, op, arg)
+
+    def on_handle(self, controller, lstart: int, nblocks: int, is_write: bool) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_handle(ctx, controller, lstart, nblocks, is_write)
+
+    def on_destage(self, controller, run) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_destage(ctx, controller, run)
+
+    def on_write_group(self, controller, group) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_write_group(ctx, controller, group)
+
+    def on_parity_update(self, controller, run, parity_runs) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_parity_update(ctx, controller, run, parity_runs)
+
+    def on_degraded(self, controller, kind: str) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_degraded(ctx, controller, kind)
+
+    # -- workload notifications (called by the runner) -------------------------
+    def request_released(self, rid: int, time: float) -> None:
+        ctx = self._require_ctx()
+        for checker in self.checkers:
+            checker.on_request_released(ctx, rid, time)
+
+    def request_completed(self, rid: int, time: float) -> None:
+        ctx = self._require_ctx()
+        for checker in self.checkers:
+            checker.on_request_completed(ctx, rid, time)

@@ -1,0 +1,150 @@
+"""Parity-group consistency for the parity organizations.
+
+The redundancy contract of RAID5 / RAID4 / Parity Striping is that
+every update of a data block carries an update of the parity block
+protecting it.  The checker verifies this at the point where it can be
+broken — the controllers' write planning and destage paths — by
+*independently* re-deriving the protected parity addresses from the
+layout and comparing them with the parity updates the controller
+actually issues:
+
+* **Uncached write groups** (``on_write_group``): for each data block
+  of the group, ``layout.parity_of`` must be covered by the group's
+  ``parity_runs`` (full-stripe, reconstruct and RMW modes alike).
+* **Cached destage runs** (``on_parity_update``): the parity runs a
+  destage submits — or, under RAID4 parity caching, buffers as deltas —
+  must cover ``layout.parity_of`` of every destaged logical block.
+* **Disk stream** (finalize): an array whose data disks completed write
+  traffic must have issued parity-area write traffic (or still hold
+  buffered deltas); and no write may land on a physical block the
+  layout cannot classify.
+
+Degraded arrays are exempted exactly where redundancy is genuinely
+gone: data blocks on the failed disk and parity groups whose parity
+lives on the failed disk.
+"""
+
+from __future__ import annotations
+
+from repro.disk.request import AccessKind
+from repro.validate.checker import CheckContext, InvariantChecker
+
+__all__ = ["ParityConsistencyChecker"]
+
+_WRITE_KINDS = (AccessKind.WRITE, AccessKind.RMW)
+
+
+class ParityConsistencyChecker(InvariantChecker):
+    """Every data update is covered by a matching parity update."""
+
+    name = "parity-consistency"
+
+    def attach(self, ctx: CheckContext) -> None:
+        self._groups_checked = 0
+        #: Per-array counters of completed data / submitted parity writes.
+        self._data_writes: dict[int, int] = {}
+        self._parity_writes: dict[int, int] = {}
+        self._deltas_buffered: dict[int, int] = {}
+
+    @staticmethod
+    def _failed_disk(controller) -> int | None:
+        return getattr(controller, "failed_disk", None)
+
+    # -- plan-level checks ---------------------------------------------------
+    def on_write_group(self, ctx: CheckContext, controller, group) -> None:
+        layout = controller.layout
+        if not layout.has_parity:
+            return
+        failed = self._failed_disk(controller)
+        provided = {
+            (run.disk, pb)
+            for run in group.parity_runs
+            for pb in range(run.start, run.end)
+        }
+        for addr, lblock in self._required_parity(layout, group.data_runs, failed):
+            if addr.disk == failed:
+                continue
+            if (addr.disk, addr.block) not in provided:
+                self.fail(
+                    f"write group ({group.mode.value}) updates lblock {lblock} "
+                    f"but not its parity at disk {addr.disk} "
+                    f"pblock {addr.block} (t={ctx.env.now:g})"
+                )
+        self._groups_checked += 1
+
+    def on_parity_update(self, ctx: CheckContext, controller, run, parity_runs) -> None:
+        layout = controller.layout
+        ai = ctx.array_of(controller)
+        provided = {
+            (prun.disk, pb)
+            for prun in parity_runs
+            for pb in range(prun.start, prun.end)
+        }
+        self._deltas_buffered[ai] = self._deltas_buffered.get(ai, 0) + len(provided)
+        for lblock in run.lblocks:
+            addr = layout.parity_of(lblock)
+            if addr is None:
+                self.fail(f"destaged lblock {lblock} has no parity in {layout!r}")
+            if (addr.disk, addr.block) not in provided:
+                self.fail(
+                    f"destage of lblock {lblock} (disk {run.disk}, "
+                    f"pblocks [{run.start}, {run.end})) omits its parity at "
+                    f"disk {addr.disk} pblock {addr.block} (t={ctx.env.now:g})"
+                )
+        self._groups_checked += 1
+
+    @staticmethod
+    def _required_parity(layout, data_runs, failed):
+        """``(parity_address, lblock)`` for each data block of the runs."""
+        out = []
+        for run in data_runs:
+            if run.disk == failed:
+                continue
+            for pb in range(run.start, run.end):
+                lblock = layout.logical_of(run.disk, pb)
+                if lblock is None:
+                    continue
+                addr = layout.parity_of(lblock)
+                if addr is not None:
+                    out.append((addr, lblock))
+        return out
+
+    # -- stream-level checks ---------------------------------------------------
+    def on_disk_submit(self, ctx: CheckContext, disk, request) -> None:
+        info = ctx.disk_info.get(disk)
+        if info is None or request.kind not in _WRITE_KINDS:
+            return
+        ai, di, ctrl = info
+        layout = ctrl.layout
+        if not layout.has_parity:
+            return
+        for pb in range(request.start_block, request.end_block):
+            if layout.is_parity_block(di, pb):
+                self._parity_writes[ai] = self._parity_writes.get(ai, 0) + 1
+
+    def on_disk_complete(self, ctx: CheckContext, disk, request) -> None:
+        info = ctx.disk_info.get(disk)
+        if info is None or request.kind not in _WRITE_KINDS:
+            return
+        ai, di, ctrl = info
+        layout = ctrl.layout
+        if not layout.has_parity or di == self._failed_disk(ctrl):
+            return
+        for pb in range(request.start_block, request.end_block):
+            if layout.logical_of(di, pb) is not None:
+                self._data_writes[ai] = self._data_writes.get(ai, 0) + 1
+
+    def finalize(self, ctx: CheckContext, result) -> None:
+        for ai, ctrl in enumerate(ctx.controllers):
+            if not ctrl.layout.has_parity:
+                continue
+            if self._failed_disk(ctrl) is not None:
+                continue  # degraded arrays may legitimately skip parity
+            data = self._data_writes.get(ai, 0)
+            parity = self._parity_writes.get(ai, 0)
+            buffered = self._deltas_buffered.get(ai, 0)
+            if data > 0 and parity + buffered == 0:
+                self.fail(
+                    f"array {ai} completed {data} data-block write(s) but "
+                    f"never issued or buffered a parity update"
+                )

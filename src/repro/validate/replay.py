@@ -1,0 +1,71 @@
+"""Deterministic replay verification.
+
+The simulator's reproducibility contract: same seed, same configuration,
+same trace ⇒ the same run, bit for bit.  The kernel earns this with its
+``(time, sequence)`` event heap (deterministic tie-breaking) and seeded
+RNGs; :func:`verify_replay` enforces it end-to-end by running the same
+simulation twice and comparing *complete* result fingerprints —
+including every individual response-time sample, so even a single
+reordered event shows up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.validate.golden import diff_snapshots, snapshot
+
+__all__ = ["ReplayMismatch", "result_fingerprint", "verify_replay"]
+
+
+class ReplayMismatch(AssertionError):
+    """Two runs of the same seeded configuration diverged."""
+
+    def __init__(self, diffs: list[str]) -> None:
+        shown = "\n  ".join(diffs[:20])
+        more = f"\n  ... and {len(diffs) - 20} more" if len(diffs) > 20 else ""
+        super().__init__(
+            "simulation is not deterministic: identical seed and config "
+            f"produced {len(diffs)} differing field(s):\n  {shown}{more}"
+        )
+        self.diffs = diffs
+
+
+def result_fingerprint(result) -> str:
+    """SHA-256 over a canonical JSON digest of *result*.
+
+    Includes every response-time sample, so two results share a
+    fingerprint only if the runs were observationally identical.
+    """
+    snap = snapshot(result, include_samples=True)
+    payload = json.dumps(snap, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def verify_replay(config, trace, runs: int = 2, **run_kw) -> str:
+    """Run ``run_trace(config, trace)`` *runs* times; all must agree.
+
+    Returns the common fingerprint.  Raises :class:`ReplayMismatch`
+    with a field-level diff on the first divergence.  Extra keyword
+    arguments are forwarded to :func:`repro.sim.runner.run_trace`.
+    """
+    from repro.sim.runner import run_trace
+
+    if runs < 2:
+        raise ValueError("need at least two runs to verify replay")
+    reference = None
+    ref_print = None
+    for _ in range(runs):
+        result = run_trace(config, trace, **run_kw)
+        snap = snapshot(result, include_samples=True)
+        fp = hashlib.sha256(
+            json.dumps(snap, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        if reference is None:
+            reference, ref_print = snap, fp
+        elif fp != ref_print:
+            diffs = diff_snapshots(reference, snap, rtol=0.0, atol=0.0)
+            raise ReplayMismatch(diffs or [f"fingerprint {fp} != {ref_print}"])
+    assert ref_print is not None
+    return ref_print

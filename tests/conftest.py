@@ -1,0 +1,11 @@
+"""Repo-wide pytest configuration."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="Regenerate the golden snapshots under tests/golden/ from the "
+        "current simulator instead of comparing against them.",
+    )

@@ -33,10 +33,59 @@ class TestBasics:
         with pytest.raises(ValueError, match="blocks/disk"):
             run_trace(config(), trace)
 
-    def test_bad_warmup(self):
+    @pytest.mark.parametrize(
+        "bad", [1.0, 1.5, -0.1, float("nan"), float("inf"), -float("inf")]
+    )
+    def test_bad_warmup(self, bad):
+        # NaN fails both sides of the range check (comparisons with NaN
+        # are false), so it must be rejected rather than slip through.
         trace = make_trace([(0.0, 0, 1, False)])
-        with pytest.raises(ValueError):
-            run_trace(config(), trace, warmup_fraction=1.0)
+        with pytest.raises(ValueError, match="warmup_fraction"):
+            run_trace(config(), trace, warmup_fraction=bad)
+
+    def test_warmup_boundaries_accepted(self):
+        trace = make_trace([(0.0, 0, 1, False)])
+        assert run_trace(config(), trace, warmup_fraction=0.0).response.count == 1
+
+    def test_checkers_require_validate(self):
+        trace = make_trace([(0.0, 0, 1, False)])
+        with pytest.raises(ValueError, match="validate"):
+            run_trace(config(), trace, checkers=[])
+
+    def test_validate_smoke(self):
+        trace = make_trace([(0.0, 0, 1, False), (1.0, 4, 2, True)])
+        res = run_trace(config("raid5"), trace, warmup_fraction=0.0, validate=True)
+        assert res.response.count == 2
+
+
+class TestTraceShapeValidation:
+    """Malformed traces must be rejected at construction, not mid-run."""
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            make_trace([(0.0, 0, 1, False), (float("nan"), 1, 1, False)])
+
+    def test_inf_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            make_trace([(float("inf"), 0, 1, False)])
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            make_trace([(5.0, 0, 1, False), (1.0, 1, 1, False)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            make_trace([(-1.0, 0, 1, False)])
+
+    def test_zero_nblocks_rejected(self):
+        with pytest.raises(ValueError, match="nblocks"):
+            make_trace([(0.0, 0, 0, False)])
+
+    def test_out_of_range_block_rejected(self):
+        with pytest.raises(ValueError, match="address space"):
+            make_trace([(0.0, 10 * BPD - 1, 2, False)])  # spills past the end
+        with pytest.raises(ValueError, match="address space"):
+            make_trace([(0.0, -1, 1, False)])
 
     def test_indivisible_disks_rejected(self):
         trace = make_trace([(0.0, 0, 1, False)], ndisks=7)

@@ -1,0 +1,74 @@
+"""Deterministic replay: same seed and config ⇒ bit-identical results."""
+
+import pytest
+
+import repro.sim.runner as runner_mod
+from repro.sim import run_trace
+from repro.validate import ReplayMismatch, result_fingerprint, verify_replay
+from tests.validate.workload import config, make_trace
+
+
+class TestFingerprint:
+    def test_identical_runs_share_a_fingerprint(self):
+        cfg = config(org="raid5")
+        trace = make_trace(n=80)
+        a = run_trace(cfg, trace, warmup_fraction=0.1)
+        b = run_trace(cfg, trace, warmup_fraction=0.1)
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_different_workloads_differ(self):
+        cfg = config(org="raid5")
+        a = run_trace(cfg, make_trace(seed=1, n=80), warmup_fraction=0.1)
+        b = run_trace(cfg, make_trace(seed=2, n=80), warmup_fraction=0.1)
+        assert result_fingerprint(a) != result_fingerprint(b)
+
+    def test_fingerprint_sees_individual_samples(self):
+        """Two results with equal aggregates but a reordered sample pair
+        still differ (samples are part of the fingerprint)."""
+        cfg = config(org="base")
+        trace = make_trace(n=40)
+        a = run_trace(cfg, trace, warmup_fraction=0.0)
+        b = run_trace(cfg, trace, warmup_fraction=0.0)
+        assert b.response._samples is not None and len(b.response._samples) >= 2
+        b.response._samples[0], b.response._samples[-1] = (
+            b.response._samples[-1],
+            b.response._samples[0],
+        )
+        if b.response._samples[0] != b.response._samples[-1]:
+            assert result_fingerprint(a) != result_fingerprint(b)
+
+
+class TestVerifyReplay:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(org="base"),
+            dict(org="mirror"),
+            dict(org="raid5", cached=True, cache_mb=4),
+        ],
+    )
+    def test_organizations_replay_deterministically(self, kw):
+        fp = verify_replay(config(**kw), make_trace(n=60), warmup_fraction=0.1)
+        assert isinstance(fp, str) and len(fp) == 64
+
+    def test_three_way_replay(self):
+        verify_replay(config(org="base"), make_trace(n=30), runs=3)
+
+    def test_too_few_runs_rejected(self):
+        with pytest.raises(ValueError, match="two runs"):
+            verify_replay(config(org="base"), make_trace(n=10), runs=1)
+
+    def test_nondeterminism_is_reported(self, monkeypatch):
+        """A simulator whose results drift between runs must be caught."""
+        real = runner_mod.run_trace
+        state = {"n": 0}
+
+        def drifting(cfg, trace, **kw):
+            result = real(cfg, trace, **kw)
+            result.response.observe(1000.0 + state["n"])  # extra sample
+            state["n"] += 1
+            return result
+
+        monkeypatch.setattr(runner_mod, "run_trace", drifting)
+        with pytest.raises(ReplayMismatch, match="not deterministic"):
+            verify_replay(config(org="base"), make_trace(n=20))

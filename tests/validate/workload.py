@@ -1,0 +1,24 @@
+"""Shared workload builders for the validation tests."""
+
+import numpy as np
+
+from repro.sim import Organization, SystemConfig
+from repro.trace import TRACE_DTYPE, Trace
+
+BPD = 2640
+
+
+def make_trace(seed=7, n=300, ndisks=10, bpd=BPD, write_frac=0.5, rate_ms=6.0):
+    """A seeded mixed read/write trace exercising every code path."""
+    rng = np.random.default_rng(seed)
+    records = np.zeros(n, dtype=TRACE_DTYPE)
+    records["time"] = np.cumsum(rng.exponential(rate_ms, size=n))
+    records["lblock"] = rng.integers(0, ndisks * bpd - 8, size=n)
+    records["nblocks"] = rng.choice([1, 1, 1, 4, 8], size=n)
+    records["is_write"] = rng.random(n) < write_frac
+    return Trace(records, ndisks, bpd, name=f"seeded-{seed}")
+
+
+def config(org="base", **kw):
+    kw.setdefault("blocks_per_disk", BPD)
+    return SystemConfig(organization=Organization.parse(org), **kw)
