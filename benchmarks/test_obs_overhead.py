@@ -1,0 +1,33 @@
+"""Observability overhead: traced/metered runs vs the plain hot path.
+
+Times the reference RAID5 workload with and without instrumentation and
+enforces the two guarantees the opt-in design makes: instrumented runs
+are bit-identical to plain ones (result fingerprints match) and the
+slowdown stays within the documented budget.  The same guard runs in CI
+as ``python -m repro.obs overhead --check``.
+"""
+
+from repro.obs import overhead
+from repro.sim import run_trace
+
+
+def test_plain_run_speed(benchmark):
+    """Baseline: the un-instrumented hot path."""
+    config, workload = overhead.reference_run_args(n_requests=600)
+    result = benchmark(lambda: run_trace(config, workload))
+    assert result.response.count > 0
+
+
+def test_traced_run_speed(benchmark):
+    """Same run with tracing and metrics on."""
+    config, workload = overhead.reference_run_args(n_requests=600)
+    result = benchmark(lambda: run_trace(config, workload, trace=True, metrics=True))
+    assert result.trace is not None
+    assert len(result.trace.spans) > 0
+
+
+def test_overhead_guard():
+    """The CI guard: non-perturbation plus bounded slowdown."""
+    report = overhead.overhead_report(n_requests=600, repeats=2)
+    problems = overhead.check(report)
+    assert problems == [], "\n".join(problems)

@@ -151,8 +151,13 @@ class CachedController(ArrayController):
             b = self.disks[layout.mirror_of(run.disk)]
             da, db = a.seek_distance_to(run.start), b.seek_distance_to(run.start)
             if da != db:
-                return a if da < db else b
-            return a if a.pending <= b.pending else b
+                chosen = a if da < db else b
+            else:
+                chosen = a if a.pending <= b.pending else b
+            if self.probe is not None:
+                alt, s_c, s_a = (b, da, db) if chosen is a else (a, db, da)
+                self.probe.on_mirror_route(self, run, chosen, alt, s_c, s_a)
+            return chosen
         return self.disks[run.disk]
 
     # ------------------------------------------------------------------

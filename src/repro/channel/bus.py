@@ -41,8 +41,10 @@ class Channel:
         self.bytes_transferred = 0
         self.transfers = 0
         self.queue_length = TimeWeighted(env.now, 0.0)
-        #: Optional validation tap (``repro.validate``): an object with
-        #: ``on_channel_transfer(channel, nbytes, duration)``.
+        #: Optional observation tap (``repro.validate`` / ``repro.obs``):
+        #: an object with ``on_channel_request(channel, nbytes)`` (at
+        #: enqueue) and ``on_channel_transfer(channel, nbytes, duration)``
+        #: (at completion).
         self.probe = None
 
     def transfer_time(self, nbytes: int) -> float:
@@ -57,6 +59,8 @@ class Channel:
         Use as ``yield from channel.transfer(...)`` inside a process.
         """
         env = self.env
+        if self.probe is not None:
+            self.probe.on_channel_request(self, nbytes)
         self.queue_length.add(env.now, +1)
         with self._link.request(priority=priority) as claim:
             yield claim

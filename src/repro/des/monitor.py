@@ -68,18 +68,36 @@ class Tally:
         return math.sqrt(v) if v == v else math.nan  # NaN-safe
 
     def percentile(self, q: float) -> float:
-        """Exact percentile ``q`` in [0, 100]; requires stored samples."""
+        """Exact percentile ``q`` in [0, 100]; requires stored samples.
+
+        Raises
+        ------
+        ValueError
+            If the tally was built with ``keep_samples=False`` — there is
+            no sample store to compute an exact percentile from.  (An
+            *empty* tally with a sample store returns NaN instead.)  Use
+            a :class:`repro.obs.Histogram` when approximate percentiles
+            without a sample store are acceptable.
+        """
         if self._samples is None:
-            raise RuntimeError("samples were not kept; percentile unavailable")
+            raise ValueError(
+                "percentile requires keep_samples=True (no sample store on "
+                "this Tally); use repro.obs.Histogram for approximate "
+                "percentiles without storing samples"
+            )
         if not self._samples:
             return math.nan
         return float(np.percentile(np.asarray(self._samples), q))
 
     @property
     def samples(self) -> np.ndarray:
-        """All recorded observations as an array."""
+        """All recorded observations as an array.
+
+        Raises :class:`ValueError` if the tally was built with
+        ``keep_samples=False``.
+        """
         if self._samples is None:
-            raise RuntimeError("samples were not kept")
+            raise ValueError("samples were not kept (keep_samples=False)")
         return np.asarray(self._samples)
 
     def merge(self, other: "Tally") -> "Tally":

@@ -28,7 +28,7 @@ class Process(Event):
     synchronously inside the constructor).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "parent")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -36,6 +36,10 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = getattr(generator, "__name__", "process")
+        #: The process that was active when this one was spawned (``None``
+        #: for processes created outside any process, e.g. at build time).
+        #: Observers use the chain to attribute work to a logical request.
+        self.parent: Optional[Process] = env.active_process
 
         init = Event(env)
         init._ok = True

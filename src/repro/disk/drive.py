@@ -73,10 +73,11 @@ class Disk:
         self.cylinder = 0
         self._wakeup: Optional[Event] = None
         self._current: Optional[DiskRequest] = None
-        #: Optional validation tap (``repro.validate``): an object with
-        #: ``on_disk_submit(disk, request)`` / ``on_disk_complete(disk,
-        #: request)``.  ``None`` keeps the data path at one identity
-        #: check per call.
+        #: Optional observation tap (``repro.validate`` /
+        #: ``repro.obs``): an object with ``on_disk_submit(disk,
+        #: request)`` / ``on_disk_complete(disk, request)`` /
+        #: ``on_disk_phase(disk, request, phase, t0, t1)``.  ``None``
+        #: keeps the data path at one identity check per tap.
         self.probe = None
 
         # -- statistics --
@@ -162,6 +163,7 @@ class Disk:
     def _service(self, request: DiskRequest) -> Generator[Event, None, bool]:
         env = self.env
         geo = self.geometry
+        probe = self.probe
 
         # Seek.
         target_cyl = geo.cylinder_of(request.start_block)
@@ -170,11 +172,15 @@ class Disk:
         self.seek_time_total += seek
         if seek > 0.0:
             yield env.timeout(seek)
+            if probe is not None:
+                probe.on_disk_phase(self, request, "seek", env.now - seek, env.now)
 
         # Rotational latency.
         latency = self.rotational_latency(env.now, request.start_block)
         if latency > 0.0:
             yield env.timeout(latency)
+            if probe is not None:
+                probe.on_disk_phase(self, request, "rotation", env.now - latency, env.now)
 
         xfer = geo.transfer_time(request.nblocks)
         rev = geo.revolution_time
@@ -182,6 +188,8 @@ class Disk:
         if request.kind is AccessKind.READ:
             self.reads += 1
             yield env.timeout(xfer)
+            if probe is not None:
+                probe.on_disk_phase(self, request, "transfer", env.now - xfer, env.now)
             request.read_complete.succeed(env.now)
             self._finish(request)
 
@@ -191,16 +199,27 @@ class Disk:
                 # Dependent write (e.g. reconstruct-write parity): hold the
                 # disk until the payload is computable, then wait for the
                 # sectors to come around again.
+                wait0 = env.now
                 yield request.data_ready
+                if probe is not None:
+                    probe.on_disk_phase(self, request, "sync_wait", wait0, env.now)
                 relat = self.rotational_latency(env.now, request.start_block)
                 if relat > 0.0:
                     yield env.timeout(relat)
+                    if probe is not None:
+                        probe.on_disk_phase(
+                            self, request, "rotation", env.now - relat, env.now
+                        )
             yield env.timeout(xfer)
+            if probe is not None:
+                probe.on_disk_phase(self, request, "transfer", env.now - xfer, env.now)
             self._finish(request)
 
         else:  # RMW
             self.rmws += 1
             yield env.timeout(xfer)  # read old contents
+            if probe is not None:
+                probe.on_disk_phase(self, request, "transfer", env.now - xfer, env.now)
             if not request.read_complete.triggered:
                 request.read_complete.succeed(env.now)
             read_end = env.now
@@ -212,6 +231,10 @@ class Disk:
             if request.data_ready is not None and not request.data_ready.triggered:
                 if request.max_hold_revolutions is None:
                     yield request.data_ready
+                    if probe is not None:
+                        probe.on_disk_phase(
+                            self, request, "sync_wait", read_end, env.now
+                        )
                 else:
                     # Bounded hold (SI policy): give up after the allowed
                     # revolutions, requeue behind other waiting accesses
@@ -220,6 +243,10 @@ class Disk:
                     budget = slot - env.now + request.max_hold_revolutions * rev
                     deadline = env.timeout(budget)
                     yield request.data_ready | deadline
+                    if probe is not None:
+                        probe.on_disk_phase(
+                            self, request, "sync_wait", read_end, env.now
+                        )
                     if not request.data_ready.triggered:
                         request.spin_revolutions += request.max_hold_revolutions
                         request.hold_retries += 1
@@ -231,6 +258,9 @@ class Disk:
                 spins = math.ceil((env.now - slot) / rev - 1e-12)
                 request.spin_revolutions += spins
                 slot += spins * rev
+            if probe is not None:
+                probe.on_disk_phase(self, request, "rmw_rotate", env.now, slot)
+                probe.on_disk_phase(self, request, "transfer", slot, slot + xfer)
             yield env.timeout(slot - env.now + xfer)
             self._finish(request)
 

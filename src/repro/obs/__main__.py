@@ -1,0 +1,81 @@
+"""Analysis CLI for exported traces.
+
+::
+
+    python -m repro.obs summarize run.jsonl
+    python -m repro.obs phases    run.jsonl
+    python -m repro.obs compare   base.jsonl raid5.jsonl
+    python -m repro.obs overhead  [--check] [--requests N] [--repeats K]
+
+``summarize`` prints request counts and latency percentiles,
+``phases`` the per-phase response-time breakdown (columns sum to the
+mean response), ``compare`` the A/B phase deltas between two traces,
+and ``overhead`` the instrumentation cost benchmark (``--check`` exits
+non-zero if instrumentation perturbed results or blew the time budget).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs import analyze, overhead
+from repro.obs.span import TraceData, well_formedness_problems
+
+
+def _load(path: str) -> TraceData:
+    data = TraceData.from_jsonl(path)
+    problems = well_formedness_problems(data)
+    if problems:
+        print(f"warning: {path}: {len(problems)} well-formedness problems "
+              f"(first: {problems[0]})", file=sys.stderr)
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyse exported simulation traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="latency percentiles for one trace")
+    p.add_argument("trace", help="JSONL trace exported by a traced run")
+
+    p = sub.add_parser("phases", help="per-phase response-time breakdown")
+    p.add_argument("trace", help="JSONL trace exported by a traced run")
+
+    p = sub.add_parser("compare", help="A/B phase deltas between two traces")
+    p.add_argument("trace_a", help="baseline JSONL trace")
+    p.add_argument("trace_b", help="candidate JSONL trace")
+
+    p = sub.add_parser("overhead", help="benchmark instrumentation cost")
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--max-ratio", type=float, default=overhead.DEFAULT_MAX_RATIO)
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero if the overhead guard fails")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        print(analyze.render_summary(_load(args.trace)))
+    elif args.command == "phases":
+        print(analyze.render_phases(_load(args.trace)))
+    elif args.command == "compare":
+        print(analyze.render_compare(_load(args.trace_a), _load(args.trace_b)))
+    elif args.command == "overhead":
+        report = overhead.overhead_report(
+            n_requests=args.requests, repeats=args.repeats
+        )
+        print(overhead.render(report))
+        if args.check:
+            problems = overhead.check(report, max_ratio=args.max_ratio)
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,222 @@
+"""Per-phase anatomy of traced requests.
+
+Turns a :class:`~repro.obs.span.TraceData` into the decomposition the
+paper reasons with: how much of a request's response time went to seeks,
+rotation, transfer, parity synchronization, and queueing.
+
+Phase spans overlap — a RAID5 write runs several disk accesses in
+parallel, each with its own seek and rotation — so naive summing of
+phase durations over-counts wall time.  :func:`decompose_request`
+instead *sweeps* the request's ``[t0, t1]`` interval: every instant is
+attributed to exactly one phase (the highest-precedence phase active at
+that instant, mechanical work shadowing queueing), and instants covered
+by no phase fall into ``other`` (controller logic, buffer waits,
+event-loop handoffs).  By construction the per-phase times partition the
+response time, so breakdowns sum to the measured response exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.span import Span, TraceData
+
+__all__ = [
+    "PHASE_ORDER",
+    "decompose_request",
+    "decompose",
+    "phase_table",
+    "render_summary",
+    "render_phases",
+    "render_compare",
+    "percentile",
+]
+
+#: Attribution precedence, highest first: when phases overlap at an
+#: instant, mechanical work (the arm is moving, the platter is spinning
+#: under the head, bits are on the wire) wins over waiting states, and
+#: specific waits win over generic queueing.
+PHASE_ORDER = (
+    "seek",
+    "rotation",
+    "transfer",
+    "rmw_rotate",
+    "sync_wait",
+    "disk_queue",
+    "channel_transfer",
+    "channel_wait",
+    "other",
+)
+
+_PRECEDENCE = {name: i for i, name in enumerate(PHASE_ORDER)}
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of *samples* (``q`` in [0, 100])."""
+    if not samples:
+        return math.nan
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (q / 100.0) * (len(xs) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def decompose_request(root: Span, phases: Iterable[Span]) -> dict[str, float]:
+    """Partition *root*'s interval across its phase spans.
+
+    Returns ``{phase_name: ms}`` whose values sum to ``root.duration``
+    (a float residual, if any, is folded into ``other``).
+    """
+    t0, t1 = root.t0, root.t1
+    if t1 is None or t1 <= t0:
+        return {}
+    clipped: list[tuple[float, float, int, str]] = []
+    for s in phases:
+        if s.t1 is None:
+            continue
+        a, b = max(s.t0, t0), min(s.t1, t1)
+        if b > a:
+            clipped.append((a, b, _PRECEDENCE.get(s.name, len(PHASE_ORDER)), s.name))
+
+    out: dict[str, float] = {}
+    if clipped:
+        bounds = sorted({t0, t1, *(c[0] for c in clipped), *(c[1] for c in clipped)})
+        for lo, hi in zip(bounds, bounds[1:]):
+            best: Optional[tuple[int, str]] = None
+            for a, b, prec, name in clipped:
+                if a <= lo and b >= hi and (best is None or prec < best[0]):
+                    best = (prec, name)
+            name = best[1] if best is not None else "other"
+            out[name] = out.get(name, 0.0) + (hi - lo)
+    residual = (t1 - t0) - math.fsum(out.values())
+    if residual or not out:
+        out["other"] = out.get("other", 0.0) + residual
+    return out
+
+
+def decompose(data: TraceData) -> list[tuple[Span, dict[str, float]]]:
+    """Per-request breakdowns for every closed root span, by rid."""
+    phases_by_rid: dict[Optional[int], list[Span]] = {}
+    for s in data.spans:
+        if s.kind == "phase":
+            phases_by_rid.setdefault(s.rid, []).append(s)
+    out = []
+    for root in data.roots():
+        if root.t1 is None:
+            continue
+        out.append((root, decompose_request(root, phases_by_rid.get(root.rid, ()))))
+    return out
+
+
+def _aggregate(rows: list[tuple[Span, dict[str, float]]]) -> dict:
+    """Mean per-phase ms plus response stats over a set of breakdowns."""
+    n = len(rows)
+    totals: dict[str, float] = {}
+    durations = []
+    for root, breakdown in rows:
+        durations.append(root.duration)
+        for name, ms in breakdown.items():
+            totals[name] = totals.get(name, 0.0) + ms
+    mean_rt = math.fsum(durations) / n if n else math.nan
+    return {
+        "count": n,
+        "mean_ms": mean_rt,
+        "p50_ms": percentile(durations, 50),
+        "p95_ms": percentile(durations, 95),
+        "p99_ms": percentile(durations, 99),
+        "phases": {name: totals.get(name, 0.0) / n for name in totals} if n else {},
+    }
+
+
+def phase_table(data: TraceData) -> dict[str, dict]:
+    """Aggregated breakdowns keyed ``all`` / ``read`` / ``write``."""
+    rows = decompose(data)
+    out = {"all": _aggregate(rows)}
+    for direction in ("read", "write"):
+        subset = [(r, b) for r, b in rows if r.name == direction]
+        if subset:
+            out[direction] = _aggregate(subset)
+    return out
+
+
+def _ordered_phases(phases: dict[str, float]) -> list[str]:
+    return sorted(phases, key=lambda p: _PRECEDENCE.get(p, len(PHASE_ORDER)))
+
+
+def _label(meta: dict) -> str:
+    name = meta.get("name", "?")
+    org = meta.get("organization")
+    return f"{name} ({org})" if org else str(name)
+
+
+def render_summary(data: TraceData) -> str:
+    """Headline stats for one trace: counts, latency percentiles."""
+    table = phase_table(data)
+    lines = [f"trace: {_label(data.meta)}  —  {len(data.spans)} spans"]
+    for key in ("warmup_ms", "simulated_ms"):
+        if key in data.meta:
+            lines.append(f"  {key:<13} {data.meta[key]:.1f}")
+    lines.append("")
+    lines.append(f"  {'requests':<10} {'count':>8} {'mean':>9} {'p50':>9} "
+                 f"{'p95':>9} {'p99':>9}   (ms)")
+    for key in ("all", "read", "write"):
+        agg = table.get(key)
+        if agg is None:
+            continue
+        lines.append(
+            f"  {key:<10} {agg['count']:>8,} {agg['mean_ms']:>9.3f} "
+            f"{agg['p50_ms']:>9.3f} {agg['p95_ms']:>9.3f} {agg['p99_ms']:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_phases(data: TraceData) -> str:
+    """Per-phase mean-time table; each column sums to its mean response."""
+    table = phase_table(data)
+    keys = [k for k in ("all", "read", "write") if k in table]
+    phase_names = _ordered_phases(
+        {p: 1.0 for agg in table.values() for p in agg["phases"]}
+    )
+    lines = [f"phase breakdown: {_label(data.meta)}  (mean ms per request)", ""]
+    header = f"  {'phase':<17}" + "".join(f"{k:>12}" for k in keys)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for phase in phase_names:
+        row = f"  {phase:<17}"
+        for k in keys:
+            row += f"{table[k]['phases'].get(phase, 0.0):>12.4f}"
+        lines.append(row)
+    lines.append("  " + "-" * (len(header) - 2))
+    total_row = f"  {'response':<17}"
+    for k in keys:
+        total_row += f"{table[k]['mean_ms']:>12.4f}"
+    lines.append(total_row)
+    counts = f"  {'requests':<17}" + "".join(f"{table[k]['count']:>12,}" for k in keys)
+    lines.append(counts)
+    return "\n".join(lines)
+
+
+def render_compare(a: TraceData, b: TraceData) -> str:
+    """A/B delta of the per-phase means (``all`` direction)."""
+    ta, tb = phase_table(a)["all"], phase_table(b)["all"]
+    phases = _ordered_phases({**ta["phases"], **tb["phases"]})
+    la, lb = _label(a.meta), _label(b.meta)
+    lines = [f"compare: A = {la}", f"         B = {lb}", ""]
+    header = f"  {'phase':<17}{'A (ms)':>12}{'B (ms)':>12}{'Δ (ms)':>12}{'Δ%':>9}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    rows = [(p, ta["phases"].get(p, 0.0), tb["phases"].get(p, 0.0)) for p in phases]
+    rows.append(("response", ta["mean_ms"], tb["mean_ms"]))
+    for name, va, vb in rows:
+        delta = vb - va
+        pct = f"{delta / va * 100.0:>8.1f}%" if va else f"{'—':>9}"
+        lines.append(f"  {name:<17}{va:>12.4f}{vb:>12.4f}{delta:>+12.4f}{pct}")
+    lines.append(
+        f"  {'requests':<17}{ta['count']:>12,}{tb['count']:>12,}"
+    )
+    return "\n".join(lines)

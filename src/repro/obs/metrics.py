@@ -1,0 +1,400 @@
+"""Metrics registry: counters, gauges, log-bucket histograms, series.
+
+Everything here is designed for *mergeability* and cheap export:
+
+* :class:`Histogram` uses fixed log-spaced bucket edges, so two
+  histograms with the same parameters merge by adding bucket counts —
+  an associative, commutative operation (bucket counts merge exactly;
+  the floating-point ``total`` is subject to addition rounding), which
+  is what lets per-array or per-shard metrics roll up later.
+* :class:`TimeSeries` holds sampled ``(time, value)`` points — the
+  utilization and queue-depth timelines the paper's aggregate curves
+  hide.
+* :class:`MetricsRegistry` names metrics (with optional labels) and
+  exports the lot as CSV or Prometheus text; both formats parse back
+  (:func:`registry_from_csv`, :func:`parse_prometheus`) so round-trip
+  tests can pin the encoding.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "registry_from_csv",
+    "parse_prometheus",
+]
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_str(labels: Labels) -> str:
+    return ";".join(f"{k}={v}" for k, v in labels)
+
+
+def _labels_prom(labels: Labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down; exports its last setting."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed log-spaced latency histogram.
+
+    Buckets cover ``[lo, hi)`` with ``buckets_per_decade`` bins per
+    factor of ten, plus an underflow bin (everything below ``lo``,
+    including zero) and an overflow bin (everything at or above ``hi``).
+    Two histograms with identical parameters merge exactly (bucket
+    counts and observation count are integers).
+
+    Percentiles are approximate: linear interpolation inside the
+    containing bucket, clamped to the observed min/max.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, lo: float = 0.01, hi: float = 1e5, buckets_per_decade: int = 8
+    ) -> None:
+        if not (0 < lo < hi):
+            raise ValueError("need 0 < lo < hi")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self._log_lo = math.log10(self.lo)
+        ndecades = math.log10(self.hi) - self._log_lo
+        self._nbins = max(1, math.ceil(ndecades * self.buckets_per_decade - 1e-9))
+        # counts[0] = underflow, counts[1:-1] = log bins, counts[-1] = overflow
+        self.counts = [0] * (self._nbins + 2)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording ----------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value < self.lo:
+            return 0
+        if value >= self.hi:
+            return self._nbins + 1
+        k = int((math.log10(value) - self._log_lo) * self.buckets_per_decade)
+        return min(max(k, 0), self._nbins - 1) + 1
+
+    def upper_edge(self, index: int) -> float:
+        """Upper bound of bucket *index* (``inf`` for the overflow bin)."""
+        if index <= 0:
+            return self.lo
+        if index >= self._nbins + 1:
+            return math.inf
+        if index == self._nbins:
+            return self.hi
+        return 10.0 ** (self._log_lo + index / self.buckets_per_decade)
+
+    def lower_edge(self, index: int) -> float:
+        if index <= 0:
+            return 0.0
+        return 10.0 ** (self._log_lo + (index - 1) / self.buckets_per_decade)
+
+    def observe(self, value: float) -> None:
+        self.counts[self._index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # -- statistics -----------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return math.nan
+        target = q / 100.0 * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= target:
+                frac = (target - cum) / c
+                louter = max(self.lower_edge(i), 0.0)
+                upper = self.upper_edge(i)
+                if not math.isfinite(upper):
+                    upper = self.max
+                est = louter + frac * (upper - louter)
+                return min(max(est, self.min), self.max)
+            cum += c
+        return self.max
+
+    # -- merging ----------------------------------------------------------------
+    def compatible(self, other: "Histogram") -> bool:
+        return (
+            self.lo == other.lo
+            and self.hi == other.hi
+            and self.buckets_per_decade == other.buckets_per_decade
+        )
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both operands' observations."""
+        if not self.compatible(other):
+            raise ValueError("histograms have different bucket layouts")
+        out = Histogram(self.lo, self.hi, self.buckets_per_decade)
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        out.count = self.count + other.count
+        out.total = self.total + other.total
+        out.min = min(self.min, other.min)
+        out.max = max(self.max, other.max)
+        return out
+
+
+class TimeSeries:
+    """Sampled ``(time_ms, value)`` points of one signal."""
+
+    __slots__ = ("times", "values")
+    kind = "series"
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time_ms: float, value: float) -> None:
+        self.times.append(float(time_ms))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else math.nan
+
+
+class MetricsRegistry:
+    """Named metrics with optional labels.
+
+    ``registry.counter("disk_completed", disk="a0.d1").inc()`` — the
+    getter creates on first use and returns the same object afterwards.
+    Iteration order (and therefore export order) is sorted by name and
+    labels, so exports are deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, Labels], object] = {}
+
+    # -- getters ------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict, **kw):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(**kw)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        lo: float = 0.01,
+        hi: float = 1e5,
+        buckets_per_decade: int = 8,
+        **labels,
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, labels, lo=lo, hi=hi, buckets_per_decade=buckets_per_decade
+        )
+
+    def series(self, name: str, **labels) -> TimeSeries:
+        return self._get(TimeSeries, name, labels)
+
+    def get(self, name: str, **labels):
+        """The metric registered under *name*/*labels*, or ``None``."""
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[tuple[str, Labels, object]]:
+        for (name, labels) in sorted(self._metrics):
+            yield name, labels, self._metrics[(name, labels)]
+
+    # -- CSV export -----------------------------------------------------------
+    def to_csv(self) -> str:
+        """``kind,name,labels,field,value`` rows; parse back with
+        :func:`registry_from_csv`."""
+        buf = io.StringIO()
+        w = csv.writer(buf, lineterminator="\n")
+        w.writerow(["kind", "name", "labels", "field", "value"])
+        for name, labels, metric in self:
+            ls = _labels_str(labels)
+            if isinstance(metric, (Counter, Gauge)):
+                w.writerow([metric.kind, name, ls, "value", repr(metric.value)])
+            elif isinstance(metric, Histogram):
+                for f in ("lo", "hi", "buckets_per_decade", "count", "total"):
+                    w.writerow(["histogram", name, ls, f, repr(getattr(metric, f))])
+                if metric.count:
+                    w.writerow(["histogram", name, ls, "min", repr(metric.min)])
+                    w.writerow(["histogram", name, ls, "max", repr(metric.max)])
+                for i, c in enumerate(metric.counts):
+                    if c:
+                        w.writerow(["histogram", name, ls, f"bucket_{i}", str(c)])
+            elif isinstance(metric, TimeSeries):
+                for t, v in zip(metric.times, metric.values):
+                    w.writerow(["series", name, ls, repr(t), repr(v)])
+        return buf.getvalue()
+
+    # -- Prometheus text export --------------------------------------------------
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition (series export their last sample)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {kind}")
+                seen_types.add(name)
+
+        for name, labels, metric in self:
+            full = prefix + name
+            if isinstance(metric, Counter):
+                type_line(full, "counter")
+                lines.append(f"{full}{_labels_prom(labels)} {_fmt(metric.value)}")
+            elif isinstance(metric, (Gauge, TimeSeries)):
+                type_line(full, "gauge")
+                value = metric.value if isinstance(metric, Gauge) else metric.last
+                lines.append(f"{full}{_labels_prom(labels)} {_fmt(value)}")
+            elif isinstance(metric, Histogram):
+                type_line(full, "histogram")
+                cum = 0
+                for i, c in enumerate(metric.counts):
+                    cum += c
+                    edge = metric.upper_edge(i)
+                    le = "+Inf" if not math.isfinite(edge) else _fmt(edge)
+                    le_label = _labels_prom(labels, 'le="%s"' % le)
+                    lines.append(f"{full}_bucket{le_label} {cum}")
+                lines.append(f"{full}_sum{_labels_prom(labels)} {_fmt(metric.total)}")
+                lines.append(f"{full}_count{_labels_prom(labels)} {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+# -- parsers (round-trip support) ------------------------------------------------
+
+
+def registry_from_csv(text: str) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.to_csv` output."""
+    reg = MetricsRegistry()
+    hist_rows: dict[tuple[str, Labels], dict[str, str]] = {}
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header != ["kind", "name", "labels", "field", "value"]:
+        raise ValueError(f"unrecognised metrics CSV header: {header!r}")
+    for kind, name, ls, f, v in reader:
+        labels = dict(item.split("=", 1) for item in ls.split(";") if item)
+        if kind == "counter":
+            reg.counter(name, **labels).value = float(v)
+        elif kind == "gauge":
+            reg.gauge(name, **labels).set(float(v))
+        elif kind == "series":
+            reg.series(name, **labels).record(float(f), float(v))
+        elif kind == "histogram":
+            hist_rows.setdefault((name, _labels_key(labels)), {})[f] = v
+        else:
+            raise ValueError(f"unknown metric kind {kind!r}")
+    for (name, labels), fields in hist_rows.items():
+        h = reg.histogram(
+            name,
+            lo=float(fields["lo"]),
+            hi=float(fields["hi"]),
+            buckets_per_decade=int(fields["buckets_per_decade"]),
+            **dict(labels),
+        )
+        h.count = int(fields["count"])
+        h.total = float(fields["total"])
+        if "min" in fields:
+            h.min = float(fields["min"])
+            h.max = float(fields["max"])
+        for f, v in fields.items():
+            if f.startswith("bucket_"):
+                h.counts[int(f[len("bucket_"):])] = int(v)
+    return reg
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Samples from a Prometheus text exposition, keyed ``name{labels}``."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if value == "NaN":
+            out[key] = math.nan
+        elif value in ("+Inf", "-Inf"):
+            out[key] = math.inf if value == "+Inf" else -math.inf
+        else:
+            out[key] = float(value)
+    return out

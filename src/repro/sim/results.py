@@ -10,11 +10,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.des import Tally
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.span import TraceData
 
 __all__ = ["RunResult", "ArrayMetrics"]
 
@@ -49,15 +53,26 @@ class RunResult:
     read_response: Tally = field(default_factory=Tally)
     write_response: Tally = field(default_factory=Tally)
     arrays: list[ArrayMetrics] = field(default_factory=list)
+    #: Span trace from ``run_trace(..., trace=True)``; ``None`` otherwise.
+    #: Excluded from equality so instrumented results compare equal to
+    #: plain ones.
+    trace: Optional["TraceData"] = field(default=None, repr=False, compare=False)
+    #: Metrics registry from ``run_trace(..., metrics=True)``.
+    metrics: Optional["MetricsRegistry"] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- headline numbers -------------------------------------------------------
     @property
     def mean_response_ms(self) -> float:
-        """The paper's primary metric."""
+        """The paper's primary metric (NaN when nothing was measured)."""
         return self.response.mean
 
     @property
     def p95_response_ms(self) -> float:
+        """95th-percentile response (NaN when nothing was measured)."""
+        if self.response.count == 0:
+            return math.nan
         return self.response.percentile(95)
 
     @property

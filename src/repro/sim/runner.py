@@ -5,11 +5,17 @@ source process releases each request at its arrival time and spawns a
 handler process on the owning array's controller; the handler's
 completion time defines the response time.  Requests arriving before
 the warm-up cutoff run normally but are excluded from the statistics.
+
+Observability is opt-in: ``trace=True`` records a per-request span tree
+(:class:`~repro.obs.span.TraceData` on ``result.trace``) and
+``metrics=True`` fills a registry of counters, histograms and sampled
+utilization timelines (``result.metrics``).  Neither perturbs the
+simulation — instrumented runs produce bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, Optional, Union
 
 import numpy as np
 
@@ -24,14 +30,17 @@ __all__ = ["run_trace"]
 
 def run_trace(
     config: SystemConfig,
-    trace: Trace,
+    workload: Trace,
     warmup_fraction: float = 0.1,
     keep_samples: bool = True,
     name: Optional[str] = None,
     validate: bool = False,
     checkers=None,
+    trace: Union[bool, "object"] = False,
+    metrics: Union[bool, "object"] = False,
+    metrics_interval_ms: Optional[float] = None,
 ) -> RunResult:
-    """Simulate *trace* on a system built from *config*.
+    """Simulate *workload* on a system built from *config*.
 
     Parameters
     ----------
@@ -51,25 +60,35 @@ def run_trace(
     checkers:
         Checker instances for the monitor (requires ``validate=True``);
         ``None`` selects the stock set.
+    trace:
+        ``True`` (or a pre-built :class:`~repro.obs.Tracer`) records a
+        span tree per request; the export lands on ``result.trace``.
+    metrics:
+        ``True`` (or a :class:`~repro.obs.MetricsRegistry` to merge
+        into) collects counters, latency histograms and utilization
+        timelines; the registry lands on ``result.metrics``.
+    metrics_interval_ms:
+        Sampling period for the utilization/queue-depth timelines.
+        Defaults to 1/200th of the trace duration (at least 1 ms).
 
     Returns
     -------
     RunResult with response-time statistics and per-array counters.
     """
-    if trace.blocks_per_disk != config.blocks_per_disk:
+    if workload.blocks_per_disk != config.blocks_per_disk:
         raise ValueError(
-            f"trace uses {trace.blocks_per_disk} blocks/disk but the config "
+            f"trace uses {workload.blocks_per_disk} blocks/disk but the config "
             f"expects {config.blocks_per_disk}"
         )
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
     if checkers is not None and not validate:
         raise ValueError("checkers were supplied but validate is False")
-    narrays = config.arrays_for(trace.ndisks)
+    narrays = config.arrays_for(workload.ndisks)
 
     env = Environment()
     system = build_system(env, config, narrays)
-    warmup_ms = trace.duration_ms * warmup_fraction
+    warmup_ms = workload.duration_ms * warmup_fraction
 
     monitor = None
     if validate:
@@ -78,13 +97,35 @@ def run_trace(
         monitor = ValidationMonitor(checkers)
         monitor.attach(env, system.controllers, warmup_ms)
 
+    # The tracer attaches after the monitor so both see every probe tap
+    # (the tracer wraps an existing probe in a fanout).
+    tracer = None
+    if trace is not False and trace is not None:
+        from repro.obs.tracer import Tracer
+
+        tracer = trace if not isinstance(trace, bool) else Tracer()
+        tracer.attach(env, system.controllers)
+
+    # Identity checks, not truthiness: an empty pre-built registry has
+    # len() == 0 and must still be used.
+    collector = None
+    if metrics is not False and metrics is not None:
+        from repro.obs.collect import MetricsCollector
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = metrics if isinstance(metrics, MetricsRegistry) else None
+        collector = MetricsCollector(registry)
+        if metrics_interval_ms is None:
+            metrics_interval_ms = max(workload.duration_ms / 200.0, 1.0)
+        collector.attach(env, system.controllers, metrics_interval_ms)
+
     result = RunResult(
-        name=name or trace.name,
+        name=name or workload.name,
         organization=config.organization.value,
         n=config.n,
         narrays=narrays,
         simulated_ms=0.0,
-        requests=len(trace),
+        requests=len(workload),
         warmup_ms=warmup_ms,
     )
     for tally in (result.response, result.read_response, result.write_response):
@@ -93,14 +134,17 @@ def run_trace(
     # The background destage/spooler processes never terminate, so the
     # run ends when the last request completes, not when the event queue
     # drains.
-    progress = _Progress(len(trace), Event(env))
-    env.process(_source(env, system, trace, warmup_ms, result, progress, monitor))
-    if len(trace):
+    progress = _Progress(len(workload), Event(env))
+    env.process(
+        _source(env, system, workload, warmup_ms, result, progress, monitor,
+                tracer, collector)
+    )
+    if len(workload):
         env.run(until=progress.all_done)
     result.simulated_ms = env.now
 
     for controller in system.controllers:
-        metrics = ArrayMetrics(
+        array_metrics = ArrayMetrics(
             disk_accesses=np.array([d.completed for d in controller.disks], dtype=np.int64),
             disk_utilization=np.array(
                 [d.utilization(env.now) for d in controller.disks], dtype=np.float64
@@ -109,15 +153,31 @@ def run_trace(
         )
         cache = getattr(controller, "cache", None)
         if cache is not None:
-            metrics.read_hits = cache.read_hits
-            metrics.read_misses = cache.read_misses
-            metrics.write_hits = cache.write_hits
-            metrics.write_misses = cache.write_misses
-            metrics.sync_writebacks = controller.sync_writebacks
-            metrics.destaged_blocks = controller.destaged_blocks
-        result.arrays.append(metrics)
+            array_metrics.read_hits = cache.read_hits
+            array_metrics.read_misses = cache.read_misses
+            array_metrics.write_hits = cache.write_hits
+            array_metrics.write_misses = cache.write_misses
+            array_metrics.sync_writebacks = controller.sync_writebacks
+            array_metrics.destaged_blocks = controller.destaged_blocks
+        result.arrays.append(array_metrics)
+
+    # Tracer first: its detach restores the monitor's probes, which the
+    # monitor's own finalize then removes.
+    if tracer is not None:
+        result.trace = tracer.finalize(
+            {
+                "name": result.name,
+                "organization": result.organization,
+                "n": result.n,
+                "narrays": result.narrays,
+                "warmup_ms": warmup_ms,
+                "simulated_ms": result.simulated_ms,
+            }
+        )
     if monitor is not None:
         monitor.finalize(result)
+    if collector is not None:
+        result.metrics = collector.finalize(result)
     return result
 
 
@@ -139,14 +199,16 @@ class _Progress:
 def _source(
     env: Environment,
     system: ArraySystem,
-    trace: Trace,
+    workload: Trace,
     warmup_ms: float,
     result: RunResult,
     progress: "_Progress",
     monitor=None,
+    tracer=None,
+    collector=None,
 ) -> Generator[Event, None, None]:
     """Release requests at their trace arrival times."""
-    records = trace.records
+    records = workload.records
     times = records["time"]
     lblocks = records["lblock"]
     nblocks = records["nblocks"]
@@ -157,20 +219,25 @@ def _source(
             yield env.timeout(t - env.now)
         if monitor is not None:
             monitor.request_released(i, env.now)
-        env.process(
+        lstart, span, write = int(lblocks[i]), int(nblocks[i]), bool(is_write[i])
+        proc = env.process(
             _request(
                 env,
                 system,
-                int(lblocks[i]),
-                int(nblocks[i]),
-                bool(is_write[i]),
+                lstart,
+                span,
+                write,
                 warmup_ms,
                 result,
                 progress,
                 monitor,
                 i,
+                tracer,
+                collector,
             )
         )
+        if tracer is not None:
+            tracer.request_released(i, proc, lstart, span, write)
 
 
 def _request(
@@ -184,6 +251,8 @@ def _request(
     progress: "_Progress",
     monitor=None,
     rid: int = -1,
+    tracer=None,
+    collector=None,
 ) -> Generator[Event, None, None]:
     """Service one trace request, splitting across arrays if needed."""
     t0 = env.now
@@ -209,8 +278,12 @@ def _request(
 
     if monitor is not None:
         monitor.request_completed(rid, env.now)
+    if tracer is not None:
+        tracer.request_completed(rid)
     if t0 >= warmup_ms:
         rt = env.now - t0
         result.response.observe(rt)
         (result.write_response if is_write else result.read_response).observe(rt)
+        if collector is not None:
+            collector.observe_response(rt, is_write)
     progress.one_done()

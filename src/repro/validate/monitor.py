@@ -158,6 +158,16 @@ class ValidationMonitor:
         for checker in self.checkers:
             checker.on_degraded(ctx, controller, kind)
 
+    # -- tracing-only taps (consumed by repro.obs; validation ignores them) ---
+    def on_disk_phase(self, disk, request, phase: str, t0: float, t1: float) -> None:
+        pass
+
+    def on_channel_request(self, channel, nbytes: int) -> None:
+        pass
+
+    def on_mirror_route(self, controller, run, chosen, alternate, seek_chosen, seek_alt) -> None:
+        pass
+
     # -- workload notifications (called by the runner) -------------------------
     def request_released(self, rid: int, time: float) -> None:
         ctx = self._require_ctx()

@@ -44,10 +44,30 @@ class TestTally:
         t.observe(1.0)
         t.observe(3.0)
         assert t.mean == 2.0
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ValueError, match="keep_samples=True"):
             t.percentile(50)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ValueError, match="keep_samples=False"):
             _ = t.samples
+
+    def test_percentile_error_names_the_alternative(self):
+        # The message should steer users toward the histogram that works
+        # without a sample store.
+        t = Tally(keep_samples=False)
+        t.observe(1.0)
+        with pytest.raises(ValueError, match="repro.obs.Histogram"):
+            t.percentile(95)
+
+    def test_percentile_empty_with_samples_is_nan(self):
+        t = Tally(keep_samples=True)
+        assert math.isnan(t.percentile(50))
+
+    def test_percentile_with_samples(self):
+        t = Tally(keep_samples=True)
+        for x in (1.0, 2.0, 3.0, 4.0):
+            t.observe(x)
+        assert t.percentile(0) == 1.0
+        assert t.percentile(100) == 4.0
+        assert t.percentile(50) == 2.5
 
     def test_samples_array(self):
         t = Tally()

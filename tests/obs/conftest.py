@@ -1,0 +1,73 @@
+"""Shared fixtures for the observability tests: one small traced run
+per organization, reused across test modules (tracing a run is the
+expensive part; assertions on the resulting span tree are cheap)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Organization, SystemConfig, run_trace
+from repro.trace import TRACE_DTYPE, Trace
+
+BPD = 2640
+NDISKS = 10
+
+
+def make_workload(n_requests=150, write_fraction=0.3, seed=5, mean_gap_ms=4.0):
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.exponential(mean_gap_ms, n_requests))
+    total = NDISKS * BPD
+    rows = [
+        (
+            float(times[i]),
+            int(rng.integers(0, total - 8)),
+            int(rng.integers(1, 5)),
+            bool(rng.random() < write_fraction),
+        )
+        for i in range(n_requests)
+    ]
+    return Trace(np.array(rows, dtype=TRACE_DTYPE), NDISKS, BPD, name="obs-unit")
+
+
+def make_config(org="raid5", **kw):
+    kw.setdefault("blocks_per_disk", BPD)
+    return SystemConfig(organization=Organization.parse(org), **kw)
+
+
+def make_cached_config(org="raid5", **kw):
+    kw.setdefault("cached", True)
+    return make_config(org, **kw)
+
+
+def traced_run(org="raid5", warmup_fraction=0.0, cached=False, **kw):
+    config = make_cached_config(org) if cached else make_config(org)
+    return run_trace(
+        config,
+        make_workload(),
+        warmup_fraction=warmup_fraction,
+        trace=True,
+        metrics=True,
+        **kw,
+    )
+
+
+@pytest.fixture(scope="session")
+def raid5_result():
+    return traced_run("raid5")
+
+
+@pytest.fixture(scope="session")
+def mirror_result():
+    return traced_run("mirror")
+
+
+@pytest.fixture(scope="session")
+def cached_result():
+    # Short destage period so the background destage path (and its
+    # trace marks) actually fires within the few-hundred-ms run.
+    return run_trace(
+        make_cached_config("raid5", destage_period_ms=50.0),
+        make_workload(),
+        warmup_fraction=0.0,
+        trace=True,
+        metrics=True,
+    )

@@ -1,0 +1,56 @@
+"""Non-perturbation and determinism guarantees of the observability
+layer: instrumented runs fingerprint identically to plain runs, and a
+traced run exports byte-identical artifacts when repeated."""
+
+import io
+
+import pytest
+
+from repro.sim import run_trace
+from repro.validate.replay import result_fingerprint
+
+from .conftest import make_cached_config, make_config, make_workload, traced_run
+
+
+@pytest.mark.parametrize("org", ["base", "mirror", "raid5", "parity_striping"])
+def test_tracing_does_not_perturb_results(org):
+    workload = make_workload(n_requests=80)
+    config = make_config(org)
+    plain = run_trace(config, workload, warmup_fraction=0.0)
+    traced = run_trace(
+        config, workload, warmup_fraction=0.0, trace=True, metrics=True
+    )
+    assert result_fingerprint(traced) == result_fingerprint(plain)
+
+
+def test_tracing_does_not_perturb_cached_results():
+    workload = make_workload(n_requests=80)
+    config = make_cached_config("raid5")
+    plain = run_trace(config, workload, warmup_fraction=0.0)
+    traced = run_trace(
+        config, workload, warmup_fraction=0.0, trace=True, metrics=True
+    )
+    assert result_fingerprint(traced) == result_fingerprint(plain)
+
+
+def test_validation_and_tracing_compose():
+    workload = make_workload(n_requests=60)
+    config = make_config("raid5")
+    plain = run_trace(config, workload, warmup_fraction=0.0)
+    both = run_trace(
+        config, workload, warmup_fraction=0.0, validate=True, trace=True
+    )
+    assert result_fingerprint(both) == result_fingerprint(plain)
+    assert both.trace is not None and len(both.trace.spans) > 0
+
+
+def test_repeated_traced_runs_export_identically():
+    def export():
+        result = traced_run("raid5")
+        jsonl = io.StringIO()
+        result.trace.to_jsonl(jsonl)
+        return jsonl.getvalue(), result.metrics.to_csv()
+
+    (jsonl_a, csv_a), (jsonl_b, csv_b) = export(), export()
+    assert jsonl_a == jsonl_b
+    assert csv_a == csv_b

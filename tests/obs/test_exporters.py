@@ -1,0 +1,138 @@
+"""Round-trip tests for every export format: metrics CSV and Prometheus
+text, trace JSONL, and the Chrome trace-event structure."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    TraceData,
+    parse_prometheus,
+    registry_from_csv,
+)
+
+
+def sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("disk_completed", disk="a0.d0").inc(41)
+    reg.gauge("utilization", disk="a0.d0").set(0.625)
+    h = reg.histogram("response_ms", lo=0.1, hi=1000.0, buckets_per_decade=4)
+    for x in (0.05, 1.0, 2.5, 40.0, 5000.0):
+        h.observe(x)
+    s = reg.series("queue_depth", disk="a0.d0")
+    s.record(10.0, 1.0)
+    s.record(20.0, 3.0)
+    return reg
+
+
+def sample_trace():
+    spans = [
+        Span(sid=0, kind="request", name="read", t0=1.0, t1=9.0, rid=0,
+             attrs={"lstart": 4, "nblocks": 1, "is_write": False}),
+        Span(sid=1, kind="disk", name="a0.d1", t0=1.0, t1=8.0, rid=0, parent=0,
+             attrs={"disk": "a0.d1"}),
+        Span(sid=2, kind="phase", name="seek", t0=1.0, t1=5.0, rid=0, parent=1,
+             attrs={"disk": "a0.d1"}),
+        Span(sid=3, kind="mark", name="mirror_route", t0=1.0, t1=1.0, rid=0,
+             parent=0),
+    ]
+    return TraceData({"name": "unit", "simulated_ms": 10.0}, spans)
+
+
+class TestMetricsCsv:
+    def test_round_trip(self):
+        reg = sample_registry()
+        back = registry_from_csv(reg.to_csv())
+        assert len(back) == len(reg)
+        assert back.get("disk_completed", disk="a0.d0").value == 41
+        assert back.get("utilization", disk="a0.d0").value == 0.625
+        h0 = reg.get("response_ms")
+        h1 = back.get("response_ms")
+        assert h1.counts == h0.counts
+        assert h1.count == h0.count
+        assert h1.total == h0.total
+        assert (h1.min, h1.max) == (h0.min, h0.max)
+        s = back.get("queue_depth", disk="a0.d0")
+        assert s.times == [10.0, 20.0] and s.values == [1.0, 3.0]
+
+    def test_round_trip_twice_is_identical_text(self):
+        text = sample_registry().to_csv()
+        assert registry_from_csv(text).to_csv() == text
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            registry_from_csv("a,b,c\n")
+
+
+class TestPrometheus:
+    def test_families_and_values(self):
+        reg = sample_registry()
+        text = reg.to_prometheus()
+        parsed = parse_prometheus(text)
+        assert parsed['repro_disk_completed{disk="a0.d0"}'] == 41.0
+        assert parsed['repro_utilization{disk="a0.d0"}'] == 0.625
+        # Series export their last sample as a gauge.
+        assert parsed['repro_queue_depth{disk="a0.d0"}'] == 3.0
+        assert parsed["repro_response_ms_count"] == 5.0
+        assert parsed["repro_response_ms_sum"] == pytest.approx(5043.55)
+        assert "# TYPE repro_response_ms histogram" in text
+
+    def test_histogram_buckets_cumulative_ending_at_count(self):
+        text = sample_registry().to_prometheus()
+        buckets = [
+            (line.rpartition(" ")[0], float(line.rpartition(" ")[2]))
+            for line in text.splitlines()
+            if line.startswith("repro_response_ms_bucket")
+        ]
+        values = [v for _, v in buckets]
+        assert values == sorted(values)
+        assert buckets[-1][0].endswith('le="+Inf"}')
+        assert values[-1] == 5.0
+
+    def test_nan_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")  # never set
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert math.isnan(parsed["repro_g"])
+
+
+class TestTraceJsonl:
+    def test_round_trip(self, tmp_path):
+        data = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        data.to_jsonl(str(path))
+        back = TraceData.from_jsonl(str(path))
+        assert back.meta == data.meta
+        assert len(back.spans) == len(data.spans)
+        for a, b in zip(data.spans, back.spans):
+            assert a == b
+
+    def test_first_line_is_meta(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sample_trace().to_jsonl(str(path))
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["name"] == "unit"
+
+
+class TestChrome:
+    def test_structure(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sample_trace().to_chrome(str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        begins = [e for e in events if e.get("ph") == "b"]
+        ends = [e for e in events if e.get("ph") == "e"]
+        # One begin/end pair per closed span.
+        assert len(begins) == len(ends) == 4
+        by_id = {e["id"]: e for e in begins}
+        # Disk and phase spans land on the disks process, others on requests.
+        assert by_id[1]["pid"] == 2 and by_id[2]["pid"] == 2
+        assert by_id[0]["pid"] == 1
+        # Timestamps are microseconds.
+        assert by_id[0]["ts"] == 1000.0
+        names = {e["name"] for e in events if e.get("ph") == "M"}
+        assert {"process_name", "thread_name"} <= names

@@ -133,8 +133,45 @@ class TestTraceShapeValidation:
     def test_keep_samples_false(self):
         rows = [(0.0, 0, 1, False)]
         res = run_trace(config(), make_trace(rows), keep_samples=False)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ValueError):
             res.p95_response_ms
+
+
+class TestEmptyRun:
+    """A zero-request trace runs end to end and reports NaN headlines
+    instead of raising."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_trace(config(), make_trace([]))
+
+    def test_counts(self, result):
+        assert result.requests == 0
+        assert result.response.count == 0
+        assert result.simulated_ms == 0.0
+
+    def test_headline_properties_are_nan(self, result):
+        import math
+
+        for value in (
+            result.mean_response_ms,
+            result.p95_response_ms,
+            result.read_hit_ratio,
+            result.write_hit_ratio,
+            result.io_rate_per_s,
+        ):
+            assert math.isnan(value)
+        assert result.mean_disk_utilization == 0.0
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "requests measured" in text
+
+    def test_empty_run_with_observability(self):
+        res = run_trace(config(), make_trace([]), trace=True, metrics=True)
+        assert res.trace is not None
+        assert res.trace.roots() == []
+        assert res.metrics.get("requests_total").value == 0.0
 
 
 class TestMetrics:

@@ -47,3 +47,16 @@ def test_sync_policies():
     out = run_example("sync_policies.py")
     assert "DF/PR" in out
     assert "SI" in out
+
+
+@pytest.mark.slow
+def test_trace_anatomy(tmp_path):
+    out = run_example(
+        "trace_anatomy.py", "--scale", "0.005", "--export-dir", str(tmp_path)
+    )
+    assert "phase breakdown" in out
+    assert "rmw_rotate" in out
+    assert "parity_striping" in out
+    assert (tmp_path / "anatomy_raid5.jsonl").exists()
+    assert (tmp_path / "anatomy_raid5.chrome.json").exists()
+    assert (tmp_path / "anatomy_parity_striping.metrics.csv").exists()
