@@ -1,0 +1,169 @@
+"""Campaign and kernel benchmark harness.
+
+Times a small experiment campaign serially and with ``--jobs N``
+workers (verifying the outputs are identical along the way), plus a set
+of kernel microbenchmarks covering the DES hot path: event throughput,
+seek-time LUT vs. closed-form, and synthetic trace generation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py \
+        --scale 0.02 --jobs 2 --out BENCH_5.json
+
+Not collected by pytest (no ``test_`` prefix) — this is a standalone
+script whose JSON output is committed as ``BENCH_5.json`` and uploaded
+as a CI artifact at a tiny scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+DEFAULT_EXPERIMENTS = ["fig8", "fig6"]
+
+
+def _campaign_dict(campaign) -> dict:
+    return {
+        exp_id: [r.to_dict() for r in results]
+        for exp_id, results in campaign.items()
+    }
+
+
+def bench_campaign(experiments, scale, jobs):
+    """Serial vs parallel campaign wall-clock, with an equality check."""
+    from repro.experiments.parallel import run_campaign
+    from repro.experiments.trace_cache import clear_memory_cache
+
+    # Warm the trace cache once so both runs measure simulation, not
+    # trace generation (matching a realistic repeated-campaign use).
+    run_campaign(experiments, scale, jobs=1)
+
+    clear_memory_cache()
+    t0 = time.perf_counter()
+    serial = run_campaign(experiments, scale, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    clear_memory_cache()
+    t0 = time.perf_counter()
+    parallel = run_campaign(experiments, scale, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    identical = _campaign_dict(serial) == _campaign_dict(parallel)
+    if not identical:
+        print("ERROR: parallel output differs from serial", file=sys.stderr)
+    return {
+        "experiments": experiments,
+        "scale": scale,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "outputs_identical": identical,
+    }
+
+
+def bench_event_throughput(n_events=200_000):
+    """Schedule/step throughput of the bare DES kernel."""
+    from repro.des import Environment
+
+    def chain(env, remaining):
+        while remaining:
+            remaining -= 1
+            yield env.timeout(1.0)
+
+    env = Environment()
+    # 8 interleaved timeout chains: exercises heap ordering, not just
+    # FIFO pop.
+    per = n_events // 8
+    for _ in range(8):
+        env.process(chain(env, per))
+    t0 = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "events": per * 8,
+        "elapsed_s": round(elapsed, 4),
+        "events_per_s": round(per * 8 / elapsed),
+    }
+
+
+def bench_seek(n=500_000):
+    """LUT-backed scalar seek_time vs the closed-form curve."""
+    from repro.disk.seek import SeekModel
+
+    model = SeekModel.fit()
+    distances = [(i * 37) % model.cylinders for i in range(n)]
+
+    t0 = time.perf_counter()
+    for d in distances:
+        model.seek_time(d)
+    lut_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for d in distances:
+        model._curve(d)
+    curve_s = time.perf_counter() - t0
+
+    return {
+        "calls": n,
+        "lut_s": round(lut_s, 4),
+        "closed_form_s": round(curve_s, 4),
+        "lut_speedup": round(curve_s / lut_s, 3) if lut_s else None,
+    }
+
+
+def bench_trace_gen(scale=0.01):
+    """Synthetic trace generation throughput (the vectorized loop)."""
+    from repro.trace.synthetic import generate_trace, trace1_config
+
+    cfg = trace1_config(scale=scale)
+    t0 = time.perf_counter()
+    trace = generate_trace(cfg)
+    elapsed = time.perf_counter() - t0
+    return {
+        "requests": len(trace),
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(len(trace) / elapsed),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="campaign trace scale (default 0.02)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="parallel worker count (default 2)")
+    parser.add_argument("--experiments", nargs="*", default=DEFAULT_EXPERIMENTS,
+                        help="experiment ids for the campaign benchmark")
+    parser.add_argument("--out", default="BENCH_5.json",
+                        help="output JSON path (default BENCH_5.json)")
+    args = parser.parse_args(argv)
+
+    import os
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    report = {
+        "benchmark": "campaign+kernel",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cores": cores,
+        "campaign": bench_campaign(args.experiments, args.scale, args.jobs),
+        "event_throughput": bench_event_throughput(),
+        "seek_time": bench_seek(),
+        "trace_generation": bench_trace_gen(),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report["campaign"]["outputs_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

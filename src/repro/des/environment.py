@@ -9,7 +9,7 @@ simulation run bit-for-bit reproducible.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional, Union
 
 from repro.des.events import Event, Timeout
@@ -84,7 +84,7 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Insert *event* into the queue ``delay`` time units from now."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        heappush(self._queue, (self._now + delay, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -99,7 +99,7 @@ class Environment:
         instead of being swallowed.
         """
         try:
-            self._now, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 

@@ -30,6 +30,8 @@ class Tally:
         only mean/variance are needed.
     """
 
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "_samples")
+
     def __init__(self, keep_samples: bool = True) -> None:
         self.count = 0
         self._mean = 0.0
@@ -126,6 +128,8 @@ class TimeWeighted:
     Call :meth:`update` whenever the signal changes; the value holds from
     the previous update time to the current one.
     """
+
+    __slots__ = ("_last_time", "_value", "_area", "_start", "max", "min")
 
     def __init__(self, time: float = 0.0, value: float = 0.0) -> None:
         self._last_time = time

@@ -43,7 +43,7 @@ class Priority:
     DESTAGE = 1.0  # background destage writes
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """One contiguous access to a single disk.
 

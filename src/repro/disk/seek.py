@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -88,14 +89,30 @@ class SeekModel:
             )
         return cls(a=float(a), b=float(b), c=settle_ms, cylinders=cylinders)
 
-    def seek_time(self, distance: int | float) -> float:
-        """Seek time in ms for a move of ``distance`` cylinders (0 → 0 ms)."""
-        if distance < 0:
-            raise ValueError(f"negative seek distance {distance}")
+    @cached_property
+    def _lut(self) -> list[float]:
+        """Seek time per whole-cylinder distance, 0..cylinders-1.
+
+        Built with the exact scalar formula, so a table lookup is
+        bit-identical to computing the curve — the hot path (one seek
+        per disk access, always an integer distance) becomes a list
+        index instead of a sqrt.
+        """
+        return [self._curve(d) for d in range(self.cylinders)]
+
+    def _curve(self, distance: float) -> float:
         if distance == 0:
             return 0.0
         x = float(distance)
         return self.a * math.sqrt(x - 1.0) + self.b * (x - 1.0) + self.c
+
+    def seek_time(self, distance: int | float) -> float:
+        """Seek time in ms for a move of ``distance`` cylinders (0 → 0 ms)."""
+        if type(distance) is int and 0 <= distance < self.cylinders:
+            return self._lut[distance]
+        if distance < 0:
+            raise ValueError(f"negative seek distance {distance}")
+        return self._curve(distance)
 
     def seek_times(self, distances: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`seek_time` (distance 0 → 0 ms)."""

@@ -4,7 +4,11 @@ Usage::
 
     python -m repro.experiments --list
     python -m repro.experiments fig5 [fig8 ...] [--scale 0.5] [--json out.json]
-    python -m repro.experiments all --scale 0.25
+    python -m repro.experiments all --scale 0.25 --jobs 8
+
+``--jobs N`` fans the campaign's independent simulation points out over
+N worker processes; the merged output is byte-identical to a serial run
+(``--jobs 1``, the default).  ``--jobs 0`` uses one worker per core.
 """
 
 from __future__ import annotations
@@ -31,6 +35,18 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="multiply the default trace sizes (smaller = faster)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for the campaign (1 = serial, 0 = all cores)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-point progress to stderr",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--json", metavar="PATH", help="also dump results as JSON")
     parser.add_argument(
@@ -44,11 +60,32 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    # Resolve aliases (e.g. fig05 -> fig5) and fail early on unknown ids.
+    ids = [get_experiment(i).exp_id for i in ids]
+
+    jobs = args.jobs
+    campaign = None
+    if jobs != 1:
+        from repro.experiments.parallel import (
+            default_jobs,
+            run_campaign,
+            stderr_progress,
+        )
+
+        if jobs <= 0:
+            jobs = default_jobs()
+        hook = stderr_progress if args.progress else None
+        t0 = time.time()
+        campaign = run_campaign(ids, args.scale, jobs=jobs, progress=hook)
+        campaign_elapsed = time.time() - t0
+    elif args.progress:
+        print("note: --progress reports per experiment in serial mode", file=sys.stderr)
+
     collected = []
     for exp_id in ids:
         exp = get_experiment(exp_id)
         t0 = time.time()
-        results = exp.run(args.scale)
+        results = campaign[exp_id] if campaign is not None else exp.run(args.scale)
         elapsed = time.time() - t0
         for result in results:
             print(result.table_str())
@@ -62,6 +99,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{exp.exp_id} done in {elapsed:.1f} s]")
         print()
 
+    if campaign is not None:
+        print(
+            f"[campaign: {len(ids)} experiment(s) over {jobs} worker(s) "
+            f"in {campaign_elapsed:.1f} s]",
+            file=sys.stderr,
+        )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(collected, fh, indent=2)

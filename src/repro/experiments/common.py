@@ -20,15 +20,15 @@ array is wider than the database.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
+from repro.experiments.trace_cache import cached_generate, memory_cache_size
 from repro.sim import Organization, RunResult, SystemConfig, run_trace
 from repro.trace import (
     Trace,
-    generate_trace,
     scale_speed,
     slice_arrays,
     trace1_config,
@@ -54,15 +54,22 @@ T1_BASE_SCALE = 0.04
 T2_BASE_SCALE = 0.5
 
 
-@lru_cache(maxsize=32)
+# Generation goes through the content-keyed cache in
+# :mod:`repro.experiments.trace_cache` (disk-backed, shared across the
+# parallel engine's workers).  The old ``lru_cache(maxsize=32)`` here
+# could pin 32 full traces in RAM; this LRU of *final* experiment
+# traces is bounded to a handful of entries and only dodges the cheap
+# per-point slice/pad/speed transforms.
+_final_traces: "OrderedDict[tuple, Trace]" = OrderedDict()
+
+
 def _trace1_cached(scale: float) -> Trace:
-    full = generate_trace(trace1_config(scale=scale))
+    full = cached_generate(trace1_config(scale=scale))
     return slice_arrays(full, 0, T1_DISKS)
 
 
-@lru_cache(maxsize=32)
 def _trace2_cached(scale: float) -> Trace:
-    return generate_trace(trace2_config(scale=scale))
+    return cached_generate(trace2_config(scale=scale))
 
 
 def _pad_disks(trace: Trace, ndisks: int) -> Trace:
@@ -94,6 +101,12 @@ def get_trace(which: int, scale: float = 1.0, speed: float = 1.0, n: int = 10) -
         Array size the trace will be run against (used to pad Trace 2
         when ``n`` exceeds its 10 data disks).
     """
+    key = (which, round(scale, 9), round(speed, 9), n)
+    cached = _final_traces.get(key)
+    if cached is not None:
+        _final_traces.move_to_end(key)
+        return cached
+
     if which == 1:
         trace = _trace1_cached(round(T1_BASE_SCALE * scale, 6))
     elif which == 2:
@@ -104,6 +117,12 @@ def get_trace(which: int, scale: float = 1.0, speed: float = 1.0, n: int = 10) -
         raise ValueError(f"trace must be 1 or 2, got {which}")
     if speed != 1.0:
         trace = scale_speed(trace, speed)
+
+    cap = memory_cache_size()
+    if cap > 0:
+        _final_traces[key] = trace
+        while len(_final_traces) > cap:
+            _final_traces.popitem(last=False)
     return trace
 
 

@@ -26,8 +26,8 @@ from repro.experiments.common import (
     Series,
     get_trace,
     make_config,
-    response_time,
 )
+from repro.experiments.points import Point, TraceSpec, run_points
 from repro.sim import run_trace
 
 __all__ = [
@@ -37,6 +37,14 @@ __all__ = [
     "run_spindle_sync",
     "run_scheduler",
     "run_reliability",
+    "points_destage",
+    "assemble_destage",
+    "points_parity_grain",
+    "assemble_parity_grain",
+    "points_spindle",
+    "assemble_spindle",
+    "points_scheduler",
+    "assemble_scheduler",
 ]
 
 
@@ -139,20 +147,38 @@ def run_rebuild(scale: float = 1.0) -> list[ExperimentResult]:
     ]
 
 
-def run_destage_policies(scale: float = 1.0) -> list[ExperimentResult]:
-    """Periodic vs basic-LRU vs decoupled write-back (§3.4)."""
+DESTAGE_POLICIES = ("periodic", "lru_demand", "decoupled")
+DESTAGE_MB = (8, 16, 32)
+
+
+def points_destage(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "ext-destage",
+            (which, policy, mb),
+            TraceSpec(which, scale),
+            "raid5",
+            cached=True,
+            cache_mb=mb,
+            destage_policy=policy,
+        )
+        for which in (1, 2)
+        for policy in DESTAGE_POLICIES
+        for mb in DESTAGE_MB
+    ]
+
+
+def assemble_destage(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale)
-        series = []
-        for policy in ("periodic", "lru_demand", "decoupled"):
-            ys = []
-            for mb in (8, 16, 32):
-                res = response_time(
-                    "raid5", trace, cached=True, cache_mb=mb, destage_policy=policy
-                )
-                ys.append(res.mean_response_ms)
-            series.append(Series(policy, [8, 16, 32], ys))
+        series = [
+            Series(
+                policy,
+                list(DESTAGE_MB),
+                [values[(which, policy, mb)].mean_response_ms for mb in DESTAGE_MB],
+            )
+            for policy in DESTAGE_POLICIES
+        ]
         results.append(
             ExperimentResult(
                 exp_id="ext-destage",
@@ -166,22 +192,31 @@ def run_destage_policies(scale: float = 1.0) -> list[ExperimentResult]:
     return results
 
 
-def run_parity_grain(scale: float = 1.0) -> list[ExperimentResult]:
-    """Fine-grained Parity Striping vs classic vs RAID5 (future work)."""
+def run_destage_policies(scale: float = 1.0) -> list[ExperimentResult]:
+    """Periodic vs basic-LRU vs decoupled write-back (§3.4)."""
+    return assemble_destage(scale, run_points(points_destage(scale)))
+
+
+GRAIN_VARIANTS = (
+    ("ParStripe classic", "parity_striping", {}),
+    ("ParStripe grain=1", "parity_striping", {"parity_grain": 1}),
+    ("ParStripe grain=8", "parity_striping", {"parity_grain": 8}),
+    ("RAID5 su=1", "raid5", {}),
+)
+
+
+def points_parity_grain(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim("ext-parity-grain", (which, label), TraceSpec(which, scale), org, **kw)
+        for which in (1, 2)
+        for label, org, kw in GRAIN_VARIANTS
+    ]
+
+
+def assemble_parity_grain(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale)
-        labels_ys = []
-        for label, overrides in (
-            ("ParStripe classic", dict()),
-            ("ParStripe grain=1", dict(parity_grain=1)),
-            ("ParStripe grain=8", dict(parity_grain=8)),
-        ):
-            res = response_time("parity_striping", trace, **overrides)
-            labels_ys.append((label, res.mean_response_ms))
-        labels_ys.append(
-            ("RAID5 su=1", response_time("raid5", trace).mean_response_ms)
-        )
+        labels = [label for label, _, _ in GRAIN_VARIANTS]
         results.append(
             ExperimentResult(
                 exp_id="ext-parity-grain",
@@ -191,8 +226,8 @@ def run_parity_grain(scale: float = 1.0) -> list[ExperimentResult]:
                 series=[
                     Series(
                         "response",
-                        [l for l, _ in labels_ys],
-                        [y for _, y in labels_ys],
+                        labels,
+                        [values[(which, label)].mean_response_ms for label in labels],
                     )
                 ],
                 notes="grain spreads parity-update load while data stays sequential",
@@ -201,18 +236,33 @@ def run_parity_grain(scale: float = 1.0) -> list[ExperimentResult]:
     return results
 
 
-def run_spindle_sync(scale: float = 1.0) -> list[ExperimentResult]:
-    """Spindle synchronization on/off for Mirror and RAID5."""
+def run_parity_grain(scale: float = 1.0) -> list[ExperimentResult]:
+    """Fine-grained Parity Striping vs classic vs RAID5 (future work)."""
+    return assemble_parity_grain(scale, run_points(points_parity_grain(scale)))
+
+
+def points_spindle(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "ext-spindle", (which, org, sync), TraceSpec(which, scale), org, spindle_sync=sync
+        )
+        for which in (1, 2)
+        for org in ("mirror", "raid5")
+        for sync in (False, True)
+    ]
+
+
+def assemble_spindle(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale)
-        series = []
-        for org in ("mirror", "raid5"):
-            ys = [
-                response_time(org, trace, spindle_sync=sync).mean_response_ms
-                for sync in (False, True)
-            ]
-            series.append(Series(org, ["unsynced", "synced"], ys))
+        series = [
+            Series(
+                org,
+                ["unsynced", "synced"],
+                [values[(which, org, sync)].mean_response_ms for sync in (False, True)],
+            )
+            for org in ("mirror", "raid5")
+        ]
         results.append(
             ExperimentResult(
                 exp_id="ext-spindle",
@@ -226,18 +276,33 @@ def run_spindle_sync(scale: float = 1.0) -> list[ExperimentResult]:
     return results
 
 
-def run_scheduler(scale: float = 1.0) -> list[ExperimentResult]:
-    """FCFS vs SSTF per-disk scheduling across organizations."""
+def run_spindle_sync(scale: float = 1.0) -> list[ExperimentResult]:
+    """Spindle synchronization on/off for Mirror and RAID5."""
+    return assemble_spindle(scale, run_points(points_spindle(scale)))
+
+
+def points_scheduler(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "ext-scheduler", (which, org, s), TraceSpec(which, scale), org, disk_scheduler=s
+        )
+        for which in (1, 2)
+        for org in ("base", "raid5")
+        for s in ("fcfs", "sstf")
+    ]
+
+
+def assemble_scheduler(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale)
-        series = []
-        for org in ("base", "raid5"):
-            ys = [
-                response_time(org, trace, disk_scheduler=s).mean_response_ms
-                for s in ("fcfs", "sstf")
-            ]
-            series.append(Series(org, ["fcfs", "sstf"], ys))
+        series = [
+            Series(
+                org,
+                ["fcfs", "sstf"],
+                [values[(which, org, s)].mean_response_ms for s in ("fcfs", "sstf")],
+            )
+            for org in ("base", "raid5")
+        ]
         results.append(
             ExperimentResult(
                 exp_id="ext-scheduler",
@@ -248,3 +313,8 @@ def run_scheduler(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run_scheduler(scale: float = 1.0) -> list[ExperimentResult]:
+    """FCFS vs SSTF per-disk scheduling across organizations."""
+    return assemble_scheduler(scale, run_points(points_scheduler(scale)))

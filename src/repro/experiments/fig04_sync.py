@@ -9,26 +9,45 @@ RF; the /PR variants best; all gaps narrowing as N grows.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run"]
+__all__ = ["run", "points", "assemble"]
 
 POLICIES = ["SI", "RF", "RF/PR", "DF", "DF/PR"]
 SIZES = [5, 10, 15, 20]
+ORGS = [("raid5", "RAID5"), ("parity_striping", "ParStripe")]
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig4",
+            (which, org, policy, n),
+            TraceSpec(which, scale, n=n),
+            org,
+            n=n,
+            sync_policy=policy,
+        )
+        for which in (1, 2)
+        for org, _ in ORGS
+        for policy in POLICIES
+        for n in SIZES
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        for org, org_label in (("raid5", "RAID5"), ("parity_striping", "ParStripe")):
-            series = []
-            for policy in POLICIES:
-                ys = []
-                for n in SIZES:
-                    trace = get_trace(which, scale, n=n)
-                    res = response_time(org, trace, n=n, sync_policy=policy)
-                    ys.append(res.mean_response_ms)
-                series.append(Series(policy, SIZES, ys))
+        for org, org_label in ORGS:
+            series = [
+                Series(
+                    policy,
+                    SIZES,
+                    [values[(which, org, policy, n)].mean_response_ms for n in SIZES],
+                )
+                for policy in POLICIES
+            ]
             results.append(
                 ExperimentResult(
                     exp_id="fig4",
@@ -39,3 +58,7 @@ def run(scale: float = 1.0) -> list[ExperimentResult]:
                 )
             )
     return results
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

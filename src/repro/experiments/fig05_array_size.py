@@ -10,9 +10,10 @@ small N; Trace 2 (high skew): RAID5 below Base, Parity Striping above.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run", "ORGS", "SIZES"]
+__all__ = ["run", "points", "assemble", "ORGS", "SIZES"]
 
 ORGS = [
     ("base", "Base"),
@@ -23,17 +24,22 @@ ORGS = [
 SIZES = [5, 10, 15, 20]
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim("fig5", (which, org, n), TraceSpec(which, scale, n=n), org, n=n)
+        for which in (1, 2)
+        for org, _ in ORGS
+        for n in SIZES
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        series = []
-        for org, label in ORGS:
-            ys = []
-            for n in SIZES:
-                trace = get_trace(which, scale, n=n)
-                res = response_time(org, trace, n=n)
-                ys.append(res.mean_response_ms)
-            series.append(Series(label, SIZES, ys))
+        series = [
+            Series(label, SIZES, [values[(which, org, n)].mean_response_ms for n in SIZES])
+            for org, label in ORGS
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig5",
@@ -44,3 +50,7 @@ def run(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

@@ -7,28 +7,36 @@ difference from 1 to 16, degrading from 32 up; Trace 2 optimal at
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run", "UNITS"]
+__all__ = ["run", "points", "assemble", "UNITS"]
 
 UNITS = [1, 2, 4, 8, 16, 32, 64]
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
-    results = []
-    for which in (1, 2):
-        trace = get_trace(which, scale)
-        ys = [
-            response_time("raid5", trace, striping_unit=su).mean_response_ms
-            for su in UNITS
-        ]
-        results.append(
-            ExperimentResult(
-                exp_id="fig8",
-                title=f"RAID5 striping unit (uncached), Trace {which}",
-                xlabel="striping unit (blocks)",
-                ylabel="mean response time (ms)",
-                series=[Series("RAID5", UNITS, ys)],
-            )
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim("fig8", (which, su), TraceSpec(which, scale), "raid5", striping_unit=su)
+        for which in (1, 2)
+        for su in UNITS
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
+    return [
+        ExperimentResult(
+            exp_id="fig8",
+            title=f"RAID5 striping unit (uncached), Trace {which}",
+            xlabel="striping unit (blocks)",
+            ylabel="mean response time (ms)",
+            series=[
+                Series("RAID5", UNITS, [values[(which, su)].mean_response_ms for su in UNITS])
+            ],
         )
-    return results
+        for which in (1, 2)
+    ]
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

@@ -7,28 +7,44 @@ placement should win for large N and lose for small N.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.points import Point, TraceSpec, run_points
 from repro.layout import ParityPlacement
 from repro.models import preferred_placement
 
-__all__ = ["run", "SIZES"]
+__all__ = ["run", "points", "assemble", "SIZES"]
 
 SIZES = [5, 10, 15, 20]
+PLACEMENTS = (ParityPlacement.MIDDLE, ParityPlacement.END)
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig9",
+            (which, placement.value, n),
+            TraceSpec(which, scale, n=n),
+            "parity_striping",
+            n=n,
+            parity_placement=placement,
+        )
+        for which in (1, 2)
+        for placement in PLACEMENTS
+        for n in SIZES
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which, wfrac in ((1, 0.10), (2, 0.28)):
-        series = []
-        for placement in (ParityPlacement.MIDDLE, ParityPlacement.END):
-            ys = []
-            for n in SIZES:
-                trace = get_trace(which, scale, n=n)
-                res = response_time(
-                    "parity_striping", trace, n=n, parity_placement=placement
-                )
-                ys.append(res.mean_response_ms)
-            series.append(Series(placement.value, SIZES, ys))
+        series = [
+            Series(
+                placement.value,
+                SIZES,
+                [values[(which, placement.value, n)].mean_response_ms for n in SIZES],
+            )
+            for placement in PLACEMENTS
+        ]
         rule = ", ".join(
             f"N={n}:{preferred_placement(n, wfrac).value}" for n in SIZES
         )
@@ -43,3 +59,7 @@ def run(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

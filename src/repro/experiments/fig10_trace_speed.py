@@ -7,24 +7,35 @@ severely; at 0.5× with little queueing Base beats RAID5 on Trace 2.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.fig05_array_size import ORGS
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run", "SPEEDS"]
+__all__ = ["run", "points", "assemble", "SPEEDS"]
 
 SPEEDS = [0.5, 1.0, 2.0]
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim("fig10", (which, org, speed), TraceSpec(which, scale, speed=speed), org)
+        for which in (1, 2)
+        for org, _ in ORGS
+        for speed in SPEEDS
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        series = []
-        for org, label in ORGS:
-            ys = []
-            for speed in SPEEDS:
-                trace = get_trace(which, scale, speed=speed)
-                ys.append(response_time(org, trace).mean_response_ms)
-            series.append(Series(label, SPEEDS, ys))
+        series = [
+            Series(
+                label,
+                SPEEDS,
+                [values[(which, org, speed)].mean_response_ms for speed in SPEEDS],
+            )
+            for org, label in ORGS
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig10",
@@ -35,3 +46,7 @@ def run(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

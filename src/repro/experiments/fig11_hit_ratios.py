@@ -15,27 +15,31 @@ decisions; larger traces are therefore affordable here.
 
 from __future__ import annotations
 
-from repro.cache import simulate_hit_ratios
-from repro.experiments.common import ExperimentResult, Series, get_trace
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run", "CACHE_MB"]
+__all__ = ["run", "points", "assemble", "CACHE_MB"]
 
 CACHE_MB = [8, 16, 32, 64, 128, 256]
 BLOCKS_PER_MB = 256
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
+def points(scale: float = 1.0) -> list[Point]:
+    # Hit ratios benefit from longer traces; the fast simulator affords
+    # 4x the timing experiments' default.
+    return [
+        Point.hitratio(
+            "fig11", (which, mode, mb), TraceSpec(which, scale * 4), mb * BLOCKS_PER_MB, mode
+        )
+        for which in (1, 2)
+        for mode in ("plain", "parity")
+        for mb in CACHE_MB
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        # Hit ratios benefit from longer traces; the fast simulator
-        # affords 4x the timing experiments' default.
-        trace = get_trace(which, scale * 4)
-        rows = {"plain": [], "parity": []}
-        for mode in ("plain", "parity"):
-            for mb in CACHE_MB:
-                rows[mode].append(
-                    simulate_hit_ratios(trace, 10, mb * BLOCKS_PER_MB, mode)
-                )
         results.append(
             ExperimentResult(
                 exp_id="fig11",
@@ -46,24 +50,28 @@ def run(scale: float = 1.0) -> list[ExperimentResult]:
                     Series(
                         "read (Base/Mirror)",
                         CACHE_MB,
-                        [s.read_hit_ratio for s in rows["plain"]],
+                        [values[(which, "plain", mb)].read_hit_ratio for mb in CACHE_MB],
                     ),
                     Series(
                         "read (parity orgs)",
                         CACHE_MB,
-                        [s.read_hit_ratio for s in rows["parity"]],
+                        [values[(which, "parity", mb)].read_hit_ratio for mb in CACHE_MB],
                     ),
                     Series(
                         "write (Base/Mirror)",
                         CACHE_MB,
-                        [s.write_hit_ratio for s in rows["plain"]],
+                        [values[(which, "plain", mb)].write_hit_ratio for mb in CACHE_MB],
                     ),
                     Series(
                         "write (parity orgs)",
                         CACHE_MB,
-                        [s.write_hit_ratio for s in rows["parity"]],
+                        [values[(which, "parity", mb)].write_hit_ratio for mb in CACHE_MB],
                     ),
                 ],
             )
         )
     return results
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

@@ -9,25 +9,37 @@ ratios.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.fig05_array_size import ORGS
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run", "CACHE_MB"]
+__all__ = ["run", "points", "assemble", "CACHE_MB"]
 
 CACHE_MB = [8, 16, 32, 64]
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig12", (which, org, mb), TraceSpec(which, scale), org, cached=True, cache_mb=mb
+        )
+        for which in (1, 2)
+        for org, _ in ORGS
+        for mb in CACHE_MB
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale)
-        series = []
-        for org, label in ORGS:
-            ys = [
-                response_time(org, trace, cached=True, cache_mb=mb).mean_response_ms
-                for mb in CACHE_MB
-            ]
-            series.append(Series(label, CACHE_MB, ys))
+        series = [
+            Series(
+                label,
+                CACHE_MB,
+                [values[(which, org, mb)].mean_response_ms for mb in CACHE_MB],
+            )
+            for org, label in ORGS
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig12",
@@ -38,3 +50,7 @@ def run(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

@@ -7,26 +7,40 @@ caches combined with arm counts and load balancing (§4.3.2).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.fig05_array_size import ORGS
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run", "POINTS"]
+__all__ = ["run", "points", "assemble", "POINTS"]
 
 POINTS = [(5, 8.0), (10, 16.0), (15, 24.0)]
 
 
-def run(scale: float = 1.0) -> list[ExperimentResult]:
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig13",
+            (which, org, n),
+            TraceSpec(which, scale, n=n),
+            org,
+            n=n,
+            cached=True,
+            cache_mb=cache_mb,
+        )
+        for which in (1, 2)
+        for org, _ in ORGS
+        for n, cache_mb in POINTS
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     xs = [n for n, _ in POINTS]
     for which in (1, 2):
-        series = []
-        for org, label in ORGS:
-            ys = []
-            for n, cache_mb in POINTS:
-                trace = get_trace(which, scale, n=n)
-                res = response_time(org, trace, n=n, cached=True, cache_mb=cache_mb)
-                ys.append(res.mean_response_ms)
-            series.append(Series(label, xs, ys))
+        series = [
+            Series(label, xs, [values[(which, org, n)].mean_response_ms for n, _ in POINTS])
+            for org, label in ORGS
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig13",
@@ -37,3 +51,7 @@ def run(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble(scale, run_points(points(scale)))

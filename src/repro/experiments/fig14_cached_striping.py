@@ -7,29 +7,42 @@ units become attractive — the Trace 1 optimum moves to ~16 blocks
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.fig08_striping_unit import UNITS
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run"]
+__all__ = ["run", "points", "assemble"]
+
+
+def points(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig14", (which, su), TraceSpec(which, scale), "raid5",
+            striping_unit=su, cached=True,
+        )
+        for which in (1, 2)
+        for su in UNITS
+    ]
+
+
+def assemble(scale: float, values: dict) -> list[ExperimentResult]:
+    return [
+        ExperimentResult(
+            exp_id="fig14",
+            title=f"RAID5 striping unit (cached, 16 MB), Trace {which}",
+            xlabel="striping unit (blocks)",
+            ylabel="mean response time (ms)",
+            series=[
+                Series(
+                    "RAID5 cached",
+                    UNITS,
+                    [values[(which, su)].mean_response_ms for su in UNITS],
+                )
+            ],
+        )
+        for which in (1, 2)
+    ]
 
 
 def run(scale: float = 1.0) -> list[ExperimentResult]:
-    results = []
-    for which in (1, 2):
-        trace = get_trace(which, scale)
-        ys = [
-            response_time(
-                "raid5", trace, striping_unit=su, cached=True
-            ).mean_response_ms
-            for su in UNITS
-        ]
-        results.append(
-            ExperimentResult(
-                exp_id="fig14",
-                title=f"RAID5 striping unit (cached, 16 MB), Trace {which}",
-                xlabel="striping unit (blocks)",
-                ylabel="mean response time (ms)",
-                series=[Series("RAID5 cached", UNITS, ys)],
-            )
-        )
-    return results
+    return assemble(scale, run_points(points(scale)))

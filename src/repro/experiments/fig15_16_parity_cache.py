@@ -11,29 +11,39 @@ size for N = 10; by ~1-2% on Trace 1 and up to ~15% on Trace 2 at
 
 from __future__ import annotations
 
-from repro.cache import simulate_hit_ratios
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
-from repro.layout import Raid4Layout
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run_fig15", "run_fig16", "CACHE_MB"]
+__all__ = [
+    "run_fig15",
+    "run_fig16",
+    "points_fig15",
+    "assemble_fig15",
+    "points_fig16",
+    "assemble_fig16",
+    "CACHE_MB",
+]
 
 CACHE_MB = [8, 16, 32, 64]
 BLOCKS_PER_MB = 256
 
 
-def run_fig15(scale: float = 1.0) -> list[ExperimentResult]:
+def points_fig15(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.hitratio(
+            "fig15", (which, mode, mb), TraceSpec(which, scale * 4), mb * BLOCKS_PER_MB, mode
+        )
+        for which in (1, 2)
+        for mode in ("parity", "raid4pc")
+        for mb in CACHE_MB
+    ]
+
+
+def assemble_fig15(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale * 4)
-        layout = Raid4Layout(10, trace.blocks_per_disk, striping_unit=1)
-        r5, r4 = [], []
-        for mb in CACHE_MB:
-            r5.append(simulate_hit_ratios(trace, 10, mb * BLOCKS_PER_MB, "parity"))
-            r4.append(
-                simulate_hit_ratios(
-                    trace, 10, mb * BLOCKS_PER_MB, "raid4pc", layout=layout
-                )
-            )
+        r5 = [values[(which, "parity", mb)] for mb in CACHE_MB]
+        r4 = [values[(which, "raid4pc", mb)] for mb in CACHE_MB]
         results.append(
             ExperimentResult(
                 exp_id="fig15",
@@ -51,17 +61,35 @@ def run_fig15(scale: float = 1.0) -> list[ExperimentResult]:
     return results
 
 
-def run_fig16(scale: float = 1.0) -> list[ExperimentResult]:
+def run_fig15(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble_fig15(scale, run_points(points_fig15(scale)))
+
+
+PAIR16 = (("raid5", "RAID5"), ("raid4", "RAID4-PC"))
+
+
+def points_fig16(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig16", (which, org, mb), TraceSpec(which, scale), org, cached=True, cache_mb=mb
+        )
+        for which in (1, 2)
+        for org, _ in PAIR16
+        for mb in CACHE_MB
+    ]
+
+
+def assemble_fig16(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale)
-        series = []
-        for org, label in (("raid5", "RAID5"), ("raid4", "RAID4-PC")):
-            ys = [
-                response_time(org, trace, cached=True, cache_mb=mb).mean_response_ms
-                for mb in CACHE_MB
-            ]
-            series.append(Series(label, CACHE_MB, ys))
+        series = [
+            Series(
+                label,
+                CACHE_MB,
+                [values[(which, org, mb)].mean_response_ms for mb in CACHE_MB],
+            )
+            for org, label in PAIR16
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig16",
@@ -72,3 +100,7 @@ def run_fig16(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run_fig16(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble_fig16(scale, run_points(points_fig16(scale)))

@@ -13,28 +13,54 @@ at a smaller unit than Trace 1's because its disks run busier.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.fig08_striping_unit import UNITS
+from repro.experiments.points import Point, TraceSpec, run_points
 
-__all__ = ["run_fig17", "run_fig18", "run_fig19"]
+__all__ = [
+    "run_fig17",
+    "run_fig18",
+    "run_fig19",
+    "points_fig17",
+    "assemble_fig17",
+    "points_fig18",
+    "assemble_fig18",
+    "points_fig19",
+    "assemble_fig19",
+]
 
 PAIR = (("raid5", "RAID5"), ("raid4", "RAID4-PC"))
 FIG17_POINTS = [(5, 8.0), (10, 16.0), (20, 32.0)]
 SPEEDS = [0.5, 1.0, 2.0]
 
 
-def run_fig17(scale: float = 1.0) -> list[ExperimentResult]:
+def points_fig17(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig17",
+            (which, org, n),
+            TraceSpec(which, scale, n=n),
+            org,
+            n=n,
+            cached=True,
+            cache_mb=cache_mb,
+        )
+        for which in (1, 2)
+        for org, _ in PAIR
+        for n, cache_mb in FIG17_POINTS
+    ]
+
+
+def assemble_fig17(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     xs = [n for n, _ in FIG17_POINTS]
     for which in (1, 2):
-        series = []
-        for org, label in PAIR:
-            ys = []
-            for n, cache_mb in FIG17_POINTS:
-                trace = get_trace(which, scale, n=n)
-                res = response_time(org, trace, n=n, cached=True, cache_mb=cache_mb)
-                ys.append(res.mean_response_ms)
-            series.append(Series(label, xs, ys))
+        series = [
+            Series(
+                label, xs, [values[(which, org, n)].mean_response_ms for n, _ in FIG17_POINTS]
+            )
+            for org, label in PAIR
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig17",
@@ -47,18 +73,32 @@ def run_fig17(scale: float = 1.0) -> list[ExperimentResult]:
     return results
 
 
-def run_fig18(scale: float = 1.0) -> list[ExperimentResult]:
+def run_fig17(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble_fig17(scale, run_points(points_fig17(scale)))
+
+
+def points_fig18(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig18", (which, org, speed), TraceSpec(which, scale, speed=speed), org, cached=True
+        )
+        for which in (1, 2)
+        for org, _ in PAIR
+        for speed in SPEEDS
+    ]
+
+
+def assemble_fig18(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        series = []
-        for org, label in PAIR:
-            ys = []
-            for speed in SPEEDS:
-                trace = get_trace(which, scale, speed=speed)
-                ys.append(
-                    response_time(org, trace, cached=True).mean_response_ms
-                )
-            series.append(Series(label, SPEEDS, ys))
+        series = [
+            Series(
+                label,
+                SPEEDS,
+                [values[(which, org, speed)].mean_response_ms for speed in SPEEDS],
+            )
+            for org, label in PAIR
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig18",
@@ -71,19 +111,29 @@ def run_fig18(scale: float = 1.0) -> list[ExperimentResult]:
     return results
 
 
-def run_fig19(scale: float = 1.0) -> list[ExperimentResult]:
+def run_fig18(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble_fig18(scale, run_points(points_fig18(scale)))
+
+
+def points_fig19(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim(
+            "fig19", (which, org, su), TraceSpec(which, scale), org,
+            striping_unit=su, cached=True,
+        )
+        for which in (1, 2)
+        for org, _ in PAIR
+        for su in UNITS
+    ]
+
+
+def assemble_fig19(scale: float, values: dict) -> list[ExperimentResult]:
     results = []
     for which in (1, 2):
-        trace = get_trace(which, scale)
-        series = []
-        for org, label in PAIR:
-            ys = [
-                response_time(
-                    org, trace, striping_unit=su, cached=True
-                ).mean_response_ms
-                for su in UNITS
-            ]
-            series.append(Series(label, UNITS, ys))
+        series = [
+            Series(label, UNITS, [values[(which, org, su)].mean_response_ms for su in UNITS])
+            for org, label in PAIR
+        ]
         results.append(
             ExperimentResult(
                 exp_id="fig19",
@@ -94,3 +144,7 @@ def run_fig19(scale: float = 1.0) -> list[ExperimentResult]:
             )
         )
     return results
+
+
+def run_fig19(scale: float = 1.0) -> list[ExperimentResult]:
+    return assemble_fig19(scale, run_points(points_fig19(scale)))

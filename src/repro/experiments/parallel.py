@@ -1,0 +1,196 @@
+"""Parallel campaign engine: fan experiment points out over processes.
+
+The registry decomposes most experiments into independent
+:class:`~repro.experiments.points.Point` work units (config + trace
+spec, nothing heavyweight).  This module schedules those units over a
+``ProcessPoolExecutor`` and merges the values deterministically:
+
+* results are keyed by each point's ``key`` and assembled by the
+  driver's ``assemble`` hook, so completion order cannot perturb the
+  output — ``--jobs N`` is byte-identical to a serial run;
+* experiments without a decomposition (pure-computation tables,
+  the custom rebuild scenario) run as single whole-experiment units in
+  the same pool;
+* traces are materialized per worker through the shared on-disk trace
+  cache, so N workers generate each workload once per machine, not once
+  per point;
+* a crashed worker (or a point raising) cancels the remaining work and
+  surfaces a :class:`CampaignError` naming the failed unit instead of
+  hanging the pool.
+
+Serial execution (``jobs=1``) bypasses multiprocessing entirely and is
+exactly the historical code path.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.points import Point, PointValue, run_point, run_points
+from repro.experiments.registry import get_experiment
+
+__all__ = ["CampaignError", "default_jobs", "run_campaign", "run_points_parallel"]
+
+#: Signature of a progress callback: ``progress(done, total, label)``.
+ProgressHook = Callable[[int, int, str], None]
+
+
+class CampaignError(RuntimeError):
+    """A campaign work unit failed (the message names the unit)."""
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0``: one per available core."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def stderr_progress(done: int, total: int, label: str) -> None:
+    """Default progress reporter: one line per completed unit."""
+    print(f"[{done}/{total}] {label}", file=sys.stderr, flush=True)
+
+
+# -- worker-side entry points (module-level: picklable under spawn) ----------
+
+
+def _eval_point(point: Point) -> PointValue:
+    return run_point(point)
+
+
+def _eval_whole(exp_id: str, scale: float) -> List[ExperimentResult]:
+    return get_experiment(exp_id).run(scale)
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def run_points_parallel(
+    points: Sequence[Point],
+    jobs: int,
+    progress: Optional[ProgressHook] = None,
+) -> Dict[tuple, PointValue]:
+    """Evaluate *points* over *jobs* workers into a ``key -> value`` map.
+
+    With ``jobs <= 1`` this is :func:`~repro.experiments.points.
+    run_points`.  Keys must be unique across the sequence.
+    """
+    if jobs <= 1:
+        total = len(points)
+        values: Dict[tuple, PointValue] = {}
+        for i, point in enumerate(points):
+            values[point.key] = run_point(point)
+            if progress is not None:
+                progress(i + 1, total, point.label())
+        return values
+
+    seen = set()
+    for point in points:
+        if point.key in seen:
+            raise ValueError(f"duplicate point key {point.key!r} in {point.exp_id}")
+        seen.add(point.key)
+
+    values = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(_eval_point, p): p for p in points}
+        _drain(futures, progress, lambda fut, point: values.__setitem__(point.key, fut.result()))
+    return values
+
+
+def _drain(futures, progress, on_done) -> None:
+    """Collect *futures*, failing fast with the offending unit named."""
+    done_count = 0
+    total = len(futures)
+    pending = set(futures)
+    while pending:
+        finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
+        for fut in finished:
+            unit = futures[fut]
+            label = unit.label() if isinstance(unit, Point) else str(unit)
+            try:
+                on_done(fut, unit)
+            except Exception as exc:
+                for other in pending:
+                    other.cancel()
+                raise CampaignError(
+                    f"campaign unit '{label}' failed: {type(exc).__name__}: {exc}"
+                ) from exc
+            done_count += 1
+            if progress is not None:
+                progress(done_count, total, label)
+
+
+def run_campaign(
+    exp_ids: Sequence[str],
+    scale: float = 1.0,
+    jobs: int = 1,
+    progress: Optional[ProgressHook] = None,
+) -> Dict[str, List[ExperimentResult]]:
+    """Run the experiments and return ``exp_id -> results``, in order.
+
+    Parameters
+    ----------
+    exp_ids:
+        Experiment ids, already resolved against the registry.
+    jobs:
+        ``<= 1`` runs everything serially in-process (the historical
+        path); ``> 1`` fans out over that many worker processes.
+    progress:
+        Optional ``hook(done, total, label)`` called per finished unit.
+    """
+    experiments = [get_experiment(e) for e in exp_ids]
+
+    if jobs <= 1:
+        out: Dict[str, List[ExperimentResult]] = {}
+        # Count units only for progress reporting; execution is the
+        # plain serial driver path.
+        done = 0
+        total = len(experiments)
+        for exp in experiments:
+            out[exp.exp_id] = exp.run(scale)
+            done += 1
+            if progress is not None:
+                progress(done, total, exp.exp_id)
+        return out
+
+    point_lists: Dict[str, List[Point]] = {}
+    tasks: List[tuple] = []  # ("point", Point) | ("whole", exp_id)
+    for exp in experiments:
+        if exp.points is not None and exp.assemble is not None:
+            pts = exp.points(scale)
+            point_lists[exp.exp_id] = pts
+            tasks.extend(("point", p) for p in pts)
+        else:
+            tasks.append(("whole", exp.exp_id))
+
+    point_values: Dict[str, Dict[tuple, PointValue]] = {e: {} for e in point_lists}
+    whole_results: Dict[str, List[ExperimentResult]] = {}
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {}
+        for kind, payload in tasks:
+            if kind == "point":
+                futures[pool.submit(_eval_point, payload)] = payload
+            else:
+                futures[pool.submit(_eval_whole, payload, scale)] = payload
+
+        def collect(fut, unit):
+            if isinstance(unit, Point):
+                point_values[unit.exp_id][unit.key] = fut.result()
+            else:
+                whole_results[unit] = fut.result()
+
+        _drain(futures, progress, collect)
+
+    out = {}
+    for exp in experiments:
+        if exp.exp_id in point_lists:
+            out[exp.exp_id] = exp.assemble(scale, point_values[exp.exp_id])
+        else:
+            out[exp.exp_id] = whole_results[exp.exp_id]
+    return out

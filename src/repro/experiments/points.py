@@ -1,0 +1,172 @@
+"""Point decomposition of the experiment drivers.
+
+A campaign (``python -m repro.experiments all``) is dozens of
+independent simulation runs — (figure x trace x organization x sweep
+value) cells.  The drivers describe those cells declaratively as
+:class:`Point` work units so the engine in
+:mod:`repro.experiments.parallel` can fan them out over processes:
+
+* a :class:`TraceSpec` names the workload *by construction recipe*
+  (trace number, scale, speed, array size) instead of carrying a
+  materialized :class:`~repro.trace.record.Trace` — the spec pickles in
+  bytes, and each worker materializes it through the shared
+  content-keyed trace cache;
+* a :class:`Point` is one cell: the spec plus the organization and the
+  ``response_time``/``simulate_hit_ratios`` keyword overrides, tagged
+  with a hashable ``key`` the driver uses to place the value back into
+  its figure;
+* :func:`run_point` evaluates one cell and returns a compact, picklable
+  :class:`PointValue`.
+
+Determinism: evaluating a point touches no shared mutable state beyond
+the trace caches (content-keyed, so a hit and a miss materialize
+bit-identical traces), and every simulation seeds its own RNGs — so any
+execution order, in any process layout, yields the same values.  The
+serial drivers run through exactly this path (``run(scale)`` is
+``assemble(scale, run_points(points(scale)))``), which is what makes
+``--jobs N`` output byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Tuple
+
+__all__ = [
+    "Point",
+    "PointValue",
+    "TraceSpec",
+    "run_point",
+    "run_points",
+]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Recipe for an experiment trace (the arguments of ``get_trace``)."""
+
+    which: int
+    scale: float
+    speed: float = 1.0
+    n: int = 10
+
+    def materialize(self):
+        """Build the trace (through the shared trace cache)."""
+        from repro.experiments.common import get_trace
+
+        return get_trace(self.which, self.scale, speed=self.speed, n=self.n)
+
+
+@dataclass(frozen=True)
+class Point:
+    """One independent work unit of an experiment.
+
+    ``kind`` selects the evaluator: ``"sim"`` runs the full
+    discrete-event simulation (``response_time``), ``"hitratio"`` the
+    fast cache-only pass (``simulate_hit_ratios``).  ``overrides`` is a
+    sorted tuple of keyword pairs so the point stays hashable and
+    pickles canonically.
+    """
+
+    exp_id: str
+    key: Tuple
+    spec: TraceSpec
+    kind: str = "sim"
+    org: str = ""
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def sim(cls, exp_id: str, key: Tuple, spec: TraceSpec, org: str, **overrides) -> "Point":
+        """A full-simulation point (mean response time of one run)."""
+        return cls(
+            exp_id=exp_id,
+            key=key,
+            spec=spec,
+            kind="sim",
+            org=org,
+            overrides=tuple(sorted(overrides.items())),
+        )
+
+    @classmethod
+    def hitratio(
+        cls, exp_id: str, key: Tuple, spec: TraceSpec, cache_blocks: int, mode: str
+    ) -> "Point":
+        """A cache-only hit-ratio point (no timing simulation)."""
+        return cls(
+            exp_id=exp_id,
+            key=key,
+            spec=spec,
+            kind="hitratio",
+            overrides=(("cache_blocks", cache_blocks), ("mode", mode)),
+        )
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.overrides)
+
+    def label(self) -> str:
+        """Human-readable identity for progress lines and errors."""
+        parts = [self.exp_id]
+        if self.org:
+            parts.append(self.org)
+        parts.append("/".join(str(k) for k in self.key))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class PointValue:
+    """The picklable result of one point.
+
+    Only the fields the figures actually plot are carried back from
+    workers; full :class:`~repro.sim.results.RunResult` objects (with
+    their numpy arrays and tallies) stay worker-local.
+    """
+
+    mean_response_ms: float = math.nan
+    read_hit_ratio: float = math.nan
+    write_hit_ratio: float = math.nan
+    physical_disks: int = 0
+    extras: Tuple[Tuple[str, float], ...] = field(default=())
+
+
+def run_point(point: Point) -> PointValue:
+    """Evaluate one work unit (in whatever process this is called)."""
+    trace = point.spec.materialize()
+    if point.kind == "sim":
+        from repro.experiments.common import response_time
+
+        res = response_time(point.org, trace, **point.kwargs)
+        return PointValue(
+            mean_response_ms=res.mean_response_ms,
+            physical_disks=len(res.per_disk_accesses),
+        )
+    if point.kind == "hitratio":
+        from repro.cache import simulate_hit_ratios
+        from repro.layout import Raid4Layout
+
+        kw = point.kwargs
+        mode = kw["mode"]
+        layout = None
+        if mode == "raid4pc":
+            layout = Raid4Layout(10, trace.blocks_per_disk, striping_unit=1)
+        stats = simulate_hit_ratios(trace, 10, kw["cache_blocks"], mode, layout=layout)
+        return PointValue(
+            read_hit_ratio=stats.read_hit_ratio,
+            write_hit_ratio=stats.write_hit_ratio,
+        )
+    raise ValueError(f"unknown point kind {point.kind!r}")
+
+
+def run_points(points: Iterable[Point]) -> Dict[Tuple, PointValue]:
+    """Evaluate *points* serially, in order, into a ``key -> value`` map.
+
+    The serial twin of the parallel engine's fan-out; drivers call this
+    from their ``run``.
+    """
+    values: Dict[Tuple, PointValue] = {}
+    for point in points:
+        if point.key in values:
+            raise ValueError(f"duplicate point key {point.key!r} in {point.exp_id}")
+        values[point.key] = run_point(point)
+    return values

@@ -8,10 +8,11 @@ Table 4 is the config default set.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, get_trace, response_time
+from repro.experiments.common import ExperimentResult, Series, get_trace
+from repro.experiments.points import Point, TraceSpec, run_points
 from repro.sim import DiskParams, SystemConfig
 
-__all__ = ["table1", "table2", "table3", "table4"]
+__all__ = ["table1", "table2", "table3", "table4", "points_table3", "assemble_table3"]
 
 
 def table1(scale: float = 1.0) -> list[ExperimentResult]:
@@ -96,19 +97,30 @@ def table2(scale: float = 1.0) -> list[ExperimentResult]:
     return out
 
 
-def table3(scale: float = 1.0) -> list[ExperimentResult]:
-    """Table 3 organization matrix: every cell builds and runs."""
-    trace2 = get_trace(2, scale * 0.2)
-    labels, disks, rts = [], [], []
+def _table3_cells() -> list[tuple[bool, str]]:
+    cells = []
     for cached in (False, True):
         orgs = ["base", "mirror", "raid5", "parity_striping"]
         if cached:
             orgs.append("raid4")
-        for org in orgs:
-            res = response_time(org, trace2, cached=cached)
-            labels.append(f"{'cached' if cached else 'uncached'}:{org}")
-            disks.append(float(len(res.per_disk_accesses)))
-            rts.append(res.mean_response_ms)
+        cells.extend((cached, org) for org in orgs)
+    return cells
+
+
+def points_table3(scale: float = 1.0) -> list[Point]:
+    return [
+        Point.sim("table3", (cached, org), TraceSpec(2, scale * 0.2), org, cached=cached)
+        for cached, org in _table3_cells()
+    ]
+
+
+def assemble_table3(scale: float, values: dict) -> list[ExperimentResult]:
+    labels, disks, rts = [], [], []
+    for cached, org in _table3_cells():
+        v = values[(cached, org)]
+        labels.append(f"{'cached' if cached else 'uncached'}:{org}")
+        disks.append(float(v.physical_disks))
+        rts.append(v.mean_response_ms)
     return [
         ExperimentResult(
             exp_id="table3",
@@ -121,6 +133,11 @@ def table3(scale: float = 1.0) -> list[ExperimentResult]:
             ],
         )
     ]
+
+
+def table3(scale: float = 1.0) -> list[ExperimentResult]:
+    """Table 3 organization matrix: every cell builds and runs."""
+    return assemble_table3(scale, run_points(points_table3(scale)))
 
 
 def table4(scale: float = 1.0) -> list[ExperimentResult]:

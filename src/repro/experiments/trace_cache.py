@@ -1,0 +1,189 @@
+"""Content-keyed trace cache: small in-process LRU + on-disk store.
+
+Synthetic trace generation is deterministic but expensive (the address
+loop walks every request), and a campaign evaluates the same trace at
+many sweep points — across *processes* when the parallel engine fans
+points out to workers.  This module memoizes :func:`~repro.trace.
+synthetic.generate_trace` at two levels:
+
+1. an in-process LRU of fully materialized :class:`Trace` objects,
+   bounded to a handful of entries (a full Trace-1 pins tens of MB, so
+   the old ``lru_cache(maxsize=32)`` approach could hold gigabytes);
+2. a directory of ``.npz`` files keyed by a content hash of the
+   generator config, shared by every process on the machine.
+
+The disk key covers *every* generator knob (including the seed and a
+format version), so a config change can never alias a stale file.
+Writes are atomic (``os.replace`` of a temp file), so concurrent
+workers warming the same entry race benignly: one wins, the others
+either re-read the complete file or regenerate.
+
+Environment variables
+---------------------
+``REPRO_TRACE_CACHE``
+    Cache directory.  Defaults to ``~/.cache/repro/traces``.  Set to
+    ``off`` (or ``0``/``none``) to disable the disk layer entirely —
+    the in-process LRU still applies.
+``REPRO_TRACE_MEMCACHE``
+    Size of the in-process LRU (default 4 traces; 0 disables it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.trace.record import TRACE_DTYPE, Trace
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+__all__ = [
+    "cache_dir",
+    "cached_generate",
+    "clear_memory_cache",
+    "config_key",
+    "memory_cache_size",
+]
+
+#: Bump when the on-disk layout or the generator's draw order changes.
+_FORMAT_VERSION = 1
+
+
+def cache_dir() -> Optional[Path]:
+    """The on-disk cache directory, or ``None`` when disabled."""
+    raw = os.environ.get("REPRO_TRACE_CACHE")
+    if raw is not None:
+        if raw.strip().lower() in ("off", "0", "none", ""):
+            return None
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def memory_cache_size() -> int:
+    """Capacity of the in-process LRU (entries, not bytes)."""
+    raw = os.environ.get("REPRO_TRACE_MEMCACHE", "4")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 4
+
+
+def config_key(cfg: SyntheticTraceConfig) -> str:
+    """Stable content hash of every generator knob."""
+    payload = dataclasses.asdict(cfg)
+    payload["__format__"] = _FORMAT_VERSION
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return f"{cfg.name.replace('/', '_').replace('@', '_')}-{digest[:16]}"
+
+
+# -- in-process layer --------------------------------------------------------
+
+_memory: "OrderedDict[str, Trace]" = OrderedDict()
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-process entry (tests, memory pressure)."""
+    _memory.clear()
+
+
+def _memory_get(key: str) -> Optional[Trace]:
+    trace = _memory.get(key)
+    if trace is not None:
+        _memory.move_to_end(key)
+    return trace
+
+
+def _memory_put(key: str, trace: Trace) -> None:
+    cap = memory_cache_size()
+    if cap == 0:
+        return
+    _memory[key] = trace
+    _memory.move_to_end(key)
+    while len(_memory) > cap:
+        _memory.popitem(last=False)
+
+
+# -- disk layer --------------------------------------------------------------
+
+
+def _disk_path(key: str) -> Optional[Path]:
+    base = cache_dir()
+    return None if base is None else base / f"{key}.npz"
+
+
+def _disk_load(path: Path, cfg: SyntheticTraceConfig) -> Optional[Trace]:
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            records = archive["records"]
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        # Truncated/corrupt/foreign file: regenerate rather than fail.
+        return None
+    if records.dtype != TRACE_DTYPE or meta.get("format") != _FORMAT_VERSION:
+        return None
+    return Trace(records, meta["ndisks"], meta["blocks_per_disk"], name=meta["name"])
+
+
+def _disk_store(path: Path, trace: Trace) -> None:
+    meta = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "ndisks": trace.ndisks,
+            "blocks_per_disk": trace.blocks_per_disk,
+            "name": trace.name,
+        }
+    )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=path.parent)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, records=trace.records, meta=np.array(meta))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache directory must never fail the run.
+        pass
+
+
+# -- public API --------------------------------------------------------------
+
+
+def cached_generate(cfg: SyntheticTraceConfig) -> Trace:
+    """:func:`generate_trace` through the two cache layers.
+
+    The returned :class:`Trace` is bit-identical to a direct
+    ``generate_trace(cfg)`` call — the cache stores the generator's
+    exact output, keyed by the exact config.
+    """
+    key = config_key(cfg)
+    trace = _memory_get(key)
+    if trace is not None:
+        return trace
+
+    path = _disk_path(key)
+    if path is not None and path.exists():
+        trace = _disk_load(path, cfg)
+        if trace is not None:
+            _memory_put(key, trace)
+            return trace
+
+    trace = generate_trace(cfg)
+    if path is not None:
+        _disk_store(path, trace)
+    _memory_put(key, trace)
+    return trace

@@ -209,17 +209,19 @@ def _source(
 ) -> Generator[Event, None, None]:
     """Release requests at their trace arrival times."""
     records = workload.records
-    times = records["time"]
-    lblocks = records["lblock"]
-    nblocks = records["nblocks"]
-    is_write = records["is_write"]
+    # One bulk tolist() per column instead of a numpy scalar allocation
+    # per field access; the python floats/ints carry the same values.
+    times = records["time"].tolist()
+    lblocks = records["lblock"].tolist()
+    nblocks = records["nblocks"].tolist()
+    is_write = records["is_write"].tolist()
     for i in range(len(records)):
-        t = float(times[i])
+        t = times[i]
         if t > env.now:
             yield env.timeout(t - env.now)
         if monitor is not None:
             monitor.request_released(i, env.now)
-        lstart, span, write = int(lblocks[i]), int(nblocks[i]), bool(is_write[i])
+        lstart, span, write = lblocks[i], nblocks[i], is_write[i]
         proc = env.process(
             _request(
                 env,

@@ -311,56 +311,74 @@ def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
     rr_pos = 0
 
     disks_of = np.searchsorted(disk_cdf, u_disk)
-    lblocks = np.empty(n, dtype=np.int64)
+
+    # The address loop indexes these streams once per request; a scalar
+    # ndarray index allocates a numpy scalar each time, which dominates
+    # the loop's cost.  Convert each stream to a plain list up front —
+    # Python float arithmetic is the same IEEE double arithmetic as the
+    # numpy scalar ops it replaces, so every address is bit-identical.
+    sizes_l = sizes.tolist()
+    is_write_l = is_write.tolist()
+    u_mode_l = u_mode.tolist()
+    u_hot_l = u_hot.tolist()
+    u_pos_l = u_pos.tolist()
+    u_war_l = u_war.tolist()
+    u_hw_l = u_hw.tolist()
+    pick_l = pick_idx.tolist()
+    stack_l = stack_draw.tolist()
+    disks_l = disks_of.tolist()
+    hot_start_l = hot_start.tolist()
+    cursors_l = cursors.tolist()
+    hw_origins_l = hw_origins.tolist()
+    n_hw = len(hw_origins_l)
+    lblocks = [0] * n
 
     rehit_p = cfg.rehit_prob
     seq_p = cfg.rehit_prob + cfg.sequential_prob
+    war_p = cfg.write_after_read_prob
+    hw_w = cfg.hot_write_weight
+    hw_run = cfg.hot_write_run_blocks
+    hot_w = cfg.hot_spot_weight
 
     for i in range(n):
-        size = int(sizes[i])
+        size = sizes_l[i]
         addr = -1
 
-        if (
-            is_write[i]
-            and size == 1
-            and len(hw_origins)
-            and u_hw[i] < cfg.hot_write_weight
-        ):
+        if is_write_l[i] and size == 1 and n_hw and u_hw_l[i] < hw_w:
             # Update-intensive page: hammer a short hot run.
-            run = int(u_hw[i] / cfg.hot_write_weight * len(hw_origins))
-            addr = int(hw_origins[min(run, len(hw_origins) - 1)]) + int(
-                u_pos[i] * cfg.hot_write_run_blocks
-            )
+            run = int(u_hw_l[i] / hw_w * n_hw)
+            addr = hw_origins_l[min(run, n_hw - 1)] + int(u_pos_l[i] * hw_run)
         elif (
-            is_write[i]
+            is_write_l[i]
             and size == 1
-            and u_war[i] < cfg.write_after_read_prob
+            and u_war_l[i] < war_p
             and recent_reads
         ):
             # DB2 pattern: update a block the transaction just read.
-            addr = recent_reads[int(pick_idx[i] * len(recent_reads))]
+            addr = recent_reads[int(pick_l[i] * len(recent_reads))]
         elif (
-            u_mode[i] < rehit_p
+            u_mode_l[i] < rehit_p
             and history
             and size == 1
-            and int(stack_draw[i]) < len(history)
+            and int(stack_l[i]) < len(history)
         ):
             # Temporal re-reference at a lognormal stack distance;
             # history is a ring buffer and hist_pos-1 is the most recent.
-            depth = int(stack_draw[i])
+            depth = int(stack_l[i])
             addr = history[(hist_pos - 1 - depth) % len(history)]
         else:
-            disk = int(disks_of[i])
+            disk = disks_l[i]
             base = disk * bpd
-            if u_mode[i] < seq_p and size == 1:
+            if u_mode_l[i] < seq_p and size == 1:
                 # Sequential continuation preserves seek affinity.
-                cursors[disk] = (cursors[disk] + 1) % bpd
-                addr = base + int(cursors[disk])
-            elif u_hot[i] < cfg.hot_spot_weight:
-                addr = base + int(hot_start[disk]) + int(u_pos[i] * hot_size)
+                cur = (cursors_l[disk] + 1) % bpd
+                cursors_l[disk] = cur
+                addr = base + cur
+            elif u_hot_l[i] < hot_w:
+                addr = base + hot_start_l[disk] + int(u_pos_l[i] * hot_size)
             else:
-                addr = base + int(u_pos[i] * bpd)
-                cursors[disk] = addr - base
+                addr = base + int(u_pos_l[i] * bpd)
+                cursors_l[disk] = addr - base
 
         # Clamp so the request stays inside its logical disk.
         disk = addr // bpd
@@ -377,7 +395,7 @@ def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
         else:
             history[hist_pos] = addr
             hist_pos = (hist_pos + 1) % hist_cap
-        if not is_write[i]:
+        if not is_write_l[i]:
             if len(recent_reads) < rr_cap:
                 recent_reads.append(addr)
                 rr_pos = len(recent_reads) % rr_cap

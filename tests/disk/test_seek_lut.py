@@ -1,0 +1,65 @@
+"""The seek-time LUT must be indistinguishable from the closed form."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.disk.seek import SeekModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SeekModel.fit()
+
+
+def test_lut_matches_closed_form_for_every_distance(model):
+    """Exhaustive: every integer distance, bit-for-bit equal."""
+    for d in range(model.cylinders):
+        assert model.seek_time(d) == model._curve(d)
+
+
+def test_lut_covers_whole_stroke(model):
+    assert len(model._lut) == model.cylinders
+    assert model._lut[0] == 0.0
+    assert model.seek_time(model.cylinders - 1) == model.max_seek_time()
+
+
+def test_float_distances_fall_back_to_formula(model):
+    assert model.seek_time(0.0) == 0.0
+    rng = random.Random(42)
+    for _ in range(200):
+        x = rng.uniform(1.0, model.cylinders + 50.0)
+        expected = model.a * np.sqrt(x - 1.0) + model.b * (x - 1.0) + model.c
+        assert model.seek_time(x) == pytest.approx(float(expected), rel=1e-12)
+
+
+def test_out_of_range_int_falls_back(model):
+    big = model.cylinders + 10
+    assert model.seek_time(big) == model._curve(big)
+
+
+def test_negative_distance_rejected(model):
+    with pytest.raises(ValueError):
+        model.seek_time(-1)
+    with pytest.raises(ValueError):
+        model.seek_time(-0.5)
+
+
+def test_numpy_integers_match_python_ints(model):
+    """The fast path keys on exact int type; numpy ints must still
+    return the same values through the fallback."""
+    for d in (0, 1, 17, model.cylinders - 1):
+        assert model.seek_time(np.int64(d)) == model.seek_time(d)
+
+
+def test_vectorised_seek_times_consistent_with_scalar(model):
+    d = np.arange(model.cylinders)
+    vec = model.seek_times(d)
+    scalar = np.array([model.seek_time(int(x)) for x in d])
+    np.testing.assert_allclose(vec, scalar, rtol=1e-12, atol=0.0)
+
+
+def test_monotone_nondecreasing(model):
+    lut = model._lut
+    assert all(lut[i] <= lut[i + 1] for i in range(len(lut) - 1))

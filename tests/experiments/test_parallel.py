@@ -1,0 +1,95 @@
+"""Serial/parallel campaign equivalence and failure handling."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    CampaignError,
+    default_jobs,
+    run_campaign,
+    run_points_parallel,
+)
+from repro.experiments.points import Point, TraceSpec, run_points
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+#: Small enough to keep the suite fast, large enough that the sweeps
+#: produce distinct values per cell.
+SCALE = 0.01
+#: One decomposed experiment (fig8: striping-unit sweep) and one
+#: whole-unit experiment (fig6: pure trace statistics) — covers both
+#: scheduling paths of the engine.
+IDS = ["fig8", "fig6"]
+
+
+def campaign_dicts(campaign):
+    return {e: [r.to_dict() for r in results] for e, results in campaign.items()}
+
+
+def test_parallel_campaign_matches_serial():
+    serial = run_campaign(IDS, SCALE, jobs=1)
+    parallel = run_campaign(IDS, SCALE, jobs=2)
+    assert campaign_dicts(parallel) == campaign_dicts(serial)
+
+
+def test_parallel_campaign_json_byte_identical(tmp_path):
+    """The CLI's --json dump is byte-for-byte identical across modes."""
+    serial = run_campaign(IDS, SCALE, jobs=1)
+    parallel = run_campaign(IDS, SCALE, jobs=2)
+    as_bytes = lambda c: json.dumps(campaign_dicts(c), indent=2).encode()
+    assert as_bytes(serial) == as_bytes(parallel)
+
+
+def test_run_points_parallel_matches_serial():
+    points = get_experiment("fig8").points(SCALE)
+    parallel = run_points_parallel(points, jobs=2)
+    serial = run_points(points)
+    assert parallel.keys() == serial.keys()
+    # repr-compare: the hit-ratio fields are NaN for pure-sim points,
+    # and NaN != NaN under dataclass equality.
+    for key in serial:
+        assert repr(parallel[key]) == repr(serial[key])
+
+
+def test_progress_hook_sees_every_unit():
+    calls = []
+    run_campaign(
+        IDS, SCALE, jobs=2, progress=lambda done, total, label: calls.append((done, total))
+    )
+    total = len(get_experiment("fig8").points(SCALE)) + 1  # + fig6 whole unit
+    assert [c[0] for c in calls] == list(range(1, total + 1))
+    assert all(c[1] == total for c in calls)
+
+
+def test_failed_point_raises_campaign_error_not_hang():
+    bad = Point.sim("bogus", ("only",), TraceSpec(2, 0.02), "no_such_org")
+    with pytest.raises(CampaignError, match="bogus"):
+        run_points_parallel([bad], jobs=2)
+
+
+def test_duplicate_point_keys_rejected():
+    spec = TraceSpec(2, 0.02)
+    dupes = [Point.sim("x", ("same",), spec, "base"), Point.sim("x", ("same",), spec, "raid5")]
+    with pytest.raises(ValueError, match="duplicate"):
+        run_points_parallel(dupes, jobs=2)
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+def test_run_contract_holds_for_every_decomposed_experiment():
+    """points/assemble must be provided together (registry invariant)."""
+    for exp in EXPERIMENTS.values():
+        assert (exp.points is None) == (exp.assemble is None)
+
+
+def test_decomposed_run_equals_assembled_points():
+    """run(scale) == assemble(scale, run_points(points(scale))) for a
+    representative decomposed experiment."""
+    exp = get_experiment("fig8")
+    direct = [r.to_dict() for r in exp.run(SCALE)]
+    assembled = [
+        r.to_dict() for r in exp.assemble(SCALE, run_points(exp.points(SCALE)))
+    ]
+    assert direct == assembled

@@ -1,0 +1,113 @@
+"""The two-layer (memory LRU + on-disk npz) trace cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import trace_cache
+from repro.experiments.trace_cache import (
+    cache_dir,
+    cached_generate,
+    clear_memory_cache,
+    config_key,
+    memory_cache_size,
+)
+from repro.trace.synthetic import generate_trace, trace2_config
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets an empty disk cache and an empty memory LRU."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def small_cfg(scale=0.01, seed=None):
+    cfg = trace2_config(scale=scale)
+    if seed is not None:
+        import dataclasses
+
+        cfg = dataclasses.replace(cfg, seed=seed)
+    return cfg
+
+
+def test_cached_generate_matches_direct_generation():
+    cfg = small_cfg()
+    direct = generate_trace(cfg)
+    cached = cached_generate(cfg)
+    assert np.array_equal(cached.records, direct.records)
+    assert (cached.ndisks, cached.blocks_per_disk, cached.name) == (
+        direct.ndisks,
+        direct.blocks_per_disk,
+        direct.name,
+    )
+
+
+def test_disk_round_trip_survives_memory_clear():
+    cfg = small_cfg()
+    first = cached_generate(cfg)
+    files = list(cache_dir().glob("*.npz"))
+    assert len(files) == 1
+
+    clear_memory_cache()
+    second = cached_generate(cfg)  # must come from disk, not regeneration
+    assert np.array_equal(first.records, second.records)
+    # Same file, untouched (no rewrite on a disk hit).
+    assert list(cache_dir().glob("*.npz")) == files
+
+
+def test_memory_hit_returns_same_object():
+    cfg = small_cfg()
+    assert cached_generate(cfg) is cached_generate(cfg)
+
+
+def test_config_key_covers_every_knob():
+    base = small_cfg()
+    assert config_key(base) == config_key(small_cfg())
+    assert config_key(base) != config_key(small_cfg(seed=999))
+    assert config_key(base) != config_key(small_cfg(scale=0.02))
+
+
+def test_disabled_disk_cache_writes_nothing(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    assert cache_dir() is None
+    cfg = small_cfg()
+    trace = cached_generate(cfg)
+    assert np.array_equal(trace.records, generate_trace(cfg).records)
+
+
+def test_corrupt_cache_file_regenerates():
+    cfg = small_cfg()
+    cached_generate(cfg)
+    (path,) = cache_dir().glob("*.npz")
+    path.write_bytes(b"not an npz archive")
+    clear_memory_cache()
+    trace = cached_generate(cfg)
+    assert np.array_equal(trace.records, generate_trace(cfg).records)
+
+
+def test_memory_lru_is_bounded(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_MEMCACHE", "2")
+    assert memory_cache_size() == 2
+    for seed in (1, 2, 3):
+        cached_generate(small_cfg(seed=seed))
+    assert len(trace_cache._memory) == 2
+
+
+def test_memory_cache_can_be_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_MEMCACHE", "0")
+    cached_generate(small_cfg())
+    assert len(trace_cache._memory) == 0
+
+
+def test_readonly_cache_dir_does_not_fail_the_run(monkeypatch, tmp_path):
+    blocked = tmp_path / "blocked"
+    blocked.mkdir()
+    blocked.chmod(0o500)  # no write permission
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(blocked / "traces"))
+    try:
+        trace = cached_generate(small_cfg())
+        assert len(trace) > 0
+    finally:
+        blocked.chmod(0o700)
