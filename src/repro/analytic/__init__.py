@@ -1,0 +1,29 @@
+"""Analytic fast-solve backend (M/G/1 + fork-join, no events).
+
+Select it with ``run_trace(..., backend="analytic")`` or
+``python -m repro.experiments <id> --backend analytic``; answers arrive
+in milliseconds instead of the DES's seconds-to-minutes, with accuracy
+bounded by the cross-validation tolerance bands in
+:mod:`repro.analytic.validation`.
+"""
+
+from repro.analytic.decompose import ArrayLoad, Branch, DiskClass, RequestClass, decompose
+from repro.analytic.service import DiskServiceModel, Moments
+from repro.analytic.solver import AnalyticSaturationError, AnalyticTally, solve_trace
+from repro.analytic.validation import CAMPAIGN_TOLERANCE, TOLERANCE_BANDS, tolerance_for
+
+__all__ = [
+    "AnalyticSaturationError",
+    "AnalyticTally",
+    "ArrayLoad",
+    "Branch",
+    "CAMPAIGN_TOLERANCE",
+    "DiskClass",
+    "DiskServiceModel",
+    "Moments",
+    "RequestClass",
+    "TOLERANCE_BANDS",
+    "decompose",
+    "solve_trace",
+    "tolerance_for",
+]

@@ -1,0 +1,153 @@
+"""Disk service-time moments for the analytic backend.
+
+The DES computes each access as seek + rotational latency + transfer
+(plus one extra revolution for a read-modify-write).  Under the random
+request placement the traces produce, those components are independent,
+so the analytic backend needs only their first two moments:
+
+* **seek** — the arm and the target are both (approximately) uniform
+  over the cylinders the workload actually spans, giving the triangular
+  distance pmf ``P(0) = 1/C``, ``P(d) = 2(C-d)/C²``; times come from the
+  same :class:`~repro.disk.seek.SeekModel` curve the DES uses.  Small
+  logical disks (test workloads) span a handful of cylinders, so the
+  span is derived from ``blocks_per_disk``, not the raw geometry.
+* **rotational latency** — uniform on ``[0, revolution)`` (no spindle
+  sync): mean ``rev/2``, second moment ``rev²/3``.
+* **transfer** — deterministic per block; request-size variability
+  enters through the block-count moments of each workload class.
+* **RMW** — one extra full revolution between the old-data read and the
+  new-data write (deterministic).
+
+Mirrored reads go to the nearer of the two arms; with both arms
+independently uniform the seek distance is the minimum of two draws
+from the triangular pmf, computed exactly here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+
+__all__ = ["Moments", "DiskServiceModel"]
+
+
+@dataclass(frozen=True)
+class Moments:
+    """First two moments of a non-negative random variable."""
+
+    mean: float
+    second: float
+
+    def __post_init__(self) -> None:
+        if self.second < self.mean**2 - 1e-12:
+            raise ValueError(
+                f"second moment {self.second} below mean² {self.mean**2}"
+            )
+
+    @property
+    def variance(self) -> float:
+        return max(self.second - self.mean**2, 0.0)
+
+    @classmethod
+    def constant(cls, value: float) -> "Moments":
+        return cls(value, value * value)
+
+    @classmethod
+    def from_mean_var(cls, mean: float, variance: float) -> "Moments":
+        return cls(mean, mean * mean + variance)
+
+    def plus(self, other: "Moments") -> "Moments":
+        """Moments of the sum of two independent variables."""
+        return Moments.from_mean_var(
+            self.mean + other.mean, self.variance + other.variance
+        )
+
+    def scaled(self, factor: float) -> "Moments":
+        return Moments(self.mean * factor, self.second * factor * factor)
+
+
+def _seek_pmf(span: int) -> np.ndarray:
+    """Triangular seek-distance pmf over *span* cylinders.
+
+    Both the arm and the target are uniform: ``P(0) = 1/C`` and
+    ``P(d) = 2(C-d)/C²`` for ``d >= 1``.
+    """
+    d = np.arange(span, dtype=np.float64)
+    pmf = 2.0 * (span - d) / (span * span)
+    pmf[0] = 1.0 / span
+    return pmf
+
+
+def _min2_pmf(pmf: np.ndarray) -> np.ndarray:
+    """Pmf of the minimum of two independent draws from *pmf*."""
+    # P(min = d) = S(d)^2 - S(d+1)^2 with S the survival function.
+    survival = np.concatenate([np.cumsum(pmf[::-1])[::-1], [0.0]])
+    return survival[:-1] ** 2 - survival[1:] ** 2
+
+
+class DiskServiceModel:
+    """Per-access service moments for one disk under a given workload span."""
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        seek_model: SeekModel,
+        blocks_per_disk: int,
+    ) -> None:
+        if blocks_per_disk < 1:
+            raise ValueError("blocks_per_disk must be positive")
+        self.geometry = geometry
+        self.seek_model = seek_model
+        #: Cylinders the workload actually addresses; random arm
+        #: positions never leave this band, so seeding the pmf with the
+        #: full-platter cylinder count would wildly overestimate seeks
+        #: for small (test) logical disks.
+        self.span = min(
+            geometry.cylinders,
+            max(1, math.ceil(blocks_per_disk / geometry.blocks_per_cylinder)),
+        )
+        pmf = _seek_pmf(self.span)
+        times = seek_model.seek_times(np.arange(self.span, dtype=np.float64))
+        self.seek = Moments(
+            float(np.dot(pmf, times)), float(np.dot(pmf, times * times))
+        )
+        pmf2 = _min2_pmf(pmf)
+        self.seek_nearest_of_two = Moments(
+            float(np.dot(pmf2, times)), float(np.dot(pmf2, times * times))
+        )
+        rev = geometry.revolution_time
+        self.latency = Moments(rev / 2.0, rev * rev / 3.0)
+        self.revolution = rev
+
+    @lru_cache(maxsize=256)
+    def access(
+        self,
+        kind: str,
+        nblocks_mean: float,
+        nblocks_second: float | None = None,
+        nearest_of_two: bool = False,
+    ) -> Moments:
+        """Service moments of one disk access.
+
+        ``kind`` is ``"read"``, ``"write"`` (identical timing) or
+        ``"rmw"`` (one extra revolution between the old read and the new
+        write).  ``nblocks_*`` are the moments of the per-access block
+        count; transfer is deterministic per block.
+        """
+        if kind not in ("read", "write", "rmw"):
+            raise ValueError(f"unknown access kind {kind!r}")
+        if nblocks_second is None:
+            nblocks_second = nblocks_mean * nblocks_mean
+        bt = self.geometry.block_transfer_time
+        transfer = Moments(nblocks_mean * bt, nblocks_second * bt * bt)
+        seek = self.seek_nearest_of_two if nearest_of_two else self.seek
+        total = seek.plus(self.latency).plus(transfer)
+        if kind == "rmw":
+            total = total.plus(Moments.constant(self.revolution))
+        return total

@@ -36,6 +36,12 @@ class CacheHitStats:
     write_misses: int
     dirty_replacements: int
     destage_cycles: int
+    #: Dirty blocks cleaned by the periodic destage (not counting the
+    #: synchronous writebacks in ``dirty_replacements``).
+    destaged_blocks: int = 0
+    #: RAID4 parity-caching mode: parity blocks spooled to the dedicated
+    #: parity disk (one per distinct buffered parity block per cycle).
+    spooled_parity_blocks: int = 0
 
     @property
     def read_hit_ratio(self) -> float:
@@ -108,6 +114,8 @@ def simulate_hit_ratios(
     counters = {
         "dirty_replacements": 0,
         "destage_cycles": 0,
+        "destaged_blocks": 0,
+        "spooled_parity_blocks": 0,
         # Per-*request* hit accounting (a multiblock access hits only if
         # all of its blocks are resident, §3.4).
         "read_hits": 0,
@@ -133,9 +141,11 @@ def simulate_hit_ratios(
                 # The previous cycle's buffered parity has been spooled
                 # to the parity disk by now; release its slots first.
                 if mode == "raid4pc" and pending_parity[a]:
+                    counters["spooled_parity_blocks"] += len(pending_parity[a])
                     cache.release_slots(len(pending_parity[a]))
                     pending_parity[a] = set()
                 for lb in cache.dirty_blocks(include_destaging=True):
+                    counters["destaged_blocks"] += 1
                     entry = cache.get(lb)
                     if mode == "raid4pc":
                         local = lb - a * array_blocks
@@ -185,4 +195,6 @@ def simulate_hit_ratios(
         write_misses=counters["write_misses"],
         dirty_replacements=counters["dirty_replacements"],
         destage_cycles=counters["destage_cycles"],
+        destaged_blocks=counters["destaged_blocks"],
+        spooled_parity_blocks=counters["spooled_parity_blocks"],
     )

@@ -47,6 +47,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-point progress to stderr",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("des", "analytic"),
+        default="des",
+        help="simulation points: discrete-event (default) or the fast "
+        "M/G/1 analytic solver (see README 'Fast analytic backend')",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--json", metavar="PATH", help="also dump results as JSON")
     parser.add_argument(
@@ -76,7 +83,9 @@ def main(argv: list[str] | None = None) -> int:
             jobs = default_jobs()
         hook = stderr_progress if args.progress else None
         t0 = time.time()
-        campaign = run_campaign(ids, args.scale, jobs=jobs, progress=hook)
+        campaign = run_campaign(
+            ids, args.scale, jobs=jobs, progress=hook, backend=args.backend
+        )
         campaign_elapsed = time.time() - t0
     elif args.progress:
         print("note: --progress reports per experiment in serial mode", file=sys.stderr)
@@ -85,7 +94,22 @@ def main(argv: list[str] | None = None) -> int:
     for exp_id in ids:
         exp = get_experiment(exp_id)
         t0 = time.time()
-        results = campaign[exp_id] if campaign is not None else exp.run(args.scale)
+        if campaign is not None:
+            results = campaign[exp_id]
+        elif args.backend != "des" and exp.points is not None:
+            from repro.experiments.points import run_points, with_backend
+
+            results = exp.assemble(
+                args.scale, run_points(with_backend(exp.points(args.scale), args.backend))
+            )
+        else:
+            if args.backend != "des":
+                print(
+                    f"note: {exp.exp_id} has no point decomposition; "
+                    f"running on the DES backend",
+                    file=sys.stderr,
+                )
+            results = exp.run(args.scale)
         elapsed = time.time() - t0
         for result in results:
             print(result.table_str())

@@ -136,9 +136,14 @@ def make_config(org: str, trace: Trace, **overrides) -> SystemConfig:
     )
 
 
-def response_time(org: str, trace: Trace, **overrides) -> RunResult:
-    """Run one (organization, trace) point."""
-    return run_trace(make_config(org, trace, **overrides), trace, keep_samples=False)
+def response_time(org: str, trace: Trace, backend: str = "des", **overrides) -> RunResult:
+    """Run one (organization, trace) point on the chosen backend."""
+    return run_trace(
+        make_config(org, trace, **overrides),
+        trace,
+        keep_samples=False,
+        backend=backend,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,13 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.points import Point, PointValue, run_point, run_points
+from repro.experiments.points import (
+    Point,
+    PointValue,
+    run_point,
+    run_points,
+    with_backend,
+)
 from repro.experiments.registry import get_experiment
 
 __all__ = ["CampaignError", "default_jobs", "run_campaign", "run_points_parallel"]
@@ -130,6 +136,7 @@ def run_campaign(
     scale: float = 1.0,
     jobs: int = 1,
     progress: Optional[ProgressHook] = None,
+    backend: str = "des",
 ) -> Dict[str, List[ExperimentResult]]:
     """Run the experiments and return ``exp_id -> results``, in order.
 
@@ -142,6 +149,10 @@ def run_campaign(
         path); ``> 1`` fans out over that many worker processes.
     progress:
         Optional ``hook(done, total, label)`` called per finished unit.
+    backend:
+        Evaluate simulation points on ``"des"`` (default) or the
+        ``"analytic"`` fast solver.  Experiments without a point
+        decomposition always run on the DES.
     """
     experiments = [get_experiment(e) for e in exp_ids]
 
@@ -152,7 +163,11 @@ def run_campaign(
         done = 0
         total = len(experiments)
         for exp in experiments:
-            out[exp.exp_id] = exp.run(scale)
+            if backend != "des" and exp.points is not None:
+                pts = with_backend(exp.points(scale), backend)
+                out[exp.exp_id] = exp.assemble(scale, run_points(pts))
+            else:
+                out[exp.exp_id] = exp.run(scale)
             done += 1
             if progress is not None:
                 progress(done, total, exp.exp_id)
@@ -162,7 +177,7 @@ def run_campaign(
     tasks: List[tuple] = []  # ("point", Point) | ("whole", exp_id)
     for exp in experiments:
         if exp.points is not None and exp.assemble is not None:
-            pts = exp.points(scale)
+            pts = with_backend(exp.points(scale), backend)
             point_lists[exp.exp_id] = pts
             tasks.extend(("point", p) for p in pts)
         else:

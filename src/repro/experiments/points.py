@@ -30,8 +30,8 @@ serial drivers run through exactly this path (``run(scale)`` is
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Tuple
 
 __all__ = [
     "Point",
@@ -39,6 +39,7 @@ __all__ = [
     "TraceSpec",
     "run_point",
     "run_points",
+    "with_backend",
 ]
 
 
@@ -156,6 +157,24 @@ def run_point(point: Point) -> PointValue:
             write_hit_ratio=stats.write_hit_ratio,
         )
     raise ValueError(f"unknown point kind {point.kind!r}")
+
+
+def with_backend(points: Iterable[Point], backend: str) -> List[Point]:
+    """Retarget the simulation points of a campaign onto *backend*.
+
+    Hit-ratio points are backend-independent (the fast cache pass *is*
+    the analytic answer) and pass through unchanged; ``"des"`` is the
+    identity so existing call sites stay byte-identical.
+    """
+    out: List[Point] = []
+    for point in points:
+        if backend == "des" or point.kind != "sim":
+            out.append(point)
+            continue
+        overrides = dict(point.overrides)
+        overrides["backend"] = backend
+        out.append(replace(point, overrides=tuple(sorted(overrides.items()))))
+    return out
 
 
 def run_points(points: Iterable[Point]) -> Dict[Tuple, PointValue]:

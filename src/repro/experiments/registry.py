@@ -16,6 +16,7 @@ byte-identical to a serial run.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -122,10 +123,18 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 
 def get_experiment(exp_id: str) -> Experiment:
-    """Look up an experiment by id (accepts e.g. 'fig05' for 'fig5')."""
+    """Look up an experiment by id.
+
+    Accepts zero-padded and module-style aliases: ``fig05`` and
+    ``fig05_array_size`` both resolve to ``fig5``.
+    """
     key = exp_id.lower().strip()
     if key not in EXPERIMENTS and key.startswith("fig"):
-        key = "fig" + key[3:].lstrip("0")
+        m = re.match(r"fig0*(\d+)", key)
+        if m and "fig" + m.group(1) in EXPERIMENTS:
+            key = "fig" + m.group(1)
+        else:
+            key = "fig" + key[3:].lstrip("0")
     try:
         return EXPERIMENTS[key]
     except KeyError:

@@ -1,9 +1,10 @@
 """Analytical models from the paper and its related work.
 
-These are not used by the simulator; they provide independent
-cross-checks for the simulation (tests compare zero-load simulated
-response times against :mod:`repro.models.gray`) and reproduce the
-paper's back-of-envelope analyses (the §4.2.3 parity-placement rule).
+The queueing toolbox powers the fast solver in :mod:`repro.analytic`;
+the rest are independent cross-checks for the simulation (tests
+compare zero-load simulated response times against
+:mod:`repro.models.gray`) and the paper's back-of-envelope analyses
+(the §4.2.3 parity-placement rule).
 """
 
 from repro.models.parity_placement import (
@@ -12,7 +13,14 @@ from repro.models.parity_placement import (
     preferred_placement,
 )
 from repro.models.gray import zero_load_response
-from repro.models.queueing import mg1_response_time, mg1_waiting_time
+from repro.models.queueing import (
+    fork_join_response,
+    mg1_priority_waiting_times,
+    mg1_response_time,
+    mg1_vacation_waiting_time,
+    mg1_waiting_time,
+    mm1_response_time,
+)
 from repro.models.seek_affinity import empirical_seek_profile
 from repro.models.reliability import ReliabilityModel, storage_overhead
 
@@ -20,8 +28,12 @@ __all__ = [
     "ReliabilityModel",
     "data_area_access_rate",
     "empirical_seek_profile",
+    "fork_join_response",
+    "mg1_priority_waiting_times",
     "mg1_response_time",
+    "mg1_vacation_waiting_time",
     "mg1_waiting_time",
+    "mm1_response_time",
     "parity_area_access_rate",
     "preferred_placement",
     "storage_overhead",

@@ -39,11 +39,19 @@ def run_trace(
     trace: Union[bool, "object"] = False,
     metrics: Union[bool, "object"] = False,
     metrics_interval_ms: Optional[float] = None,
+    backend: str = "des",
 ) -> RunResult:
     """Simulate *workload* on a system built from *config*.
 
     Parameters
     ----------
+    backend:
+        ``"des"`` (default) runs the discrete-event simulation;
+        ``"analytic"`` solves the same question with the M/G/1 +
+        fork-join model in :mod:`repro.analytic` — orders of magnitude
+        faster, accurate within the cross-validation tolerance bands.
+        The analytic backend has no events, so ``validate``/``trace``/
+        ``metrics`` instrumentation cannot be combined with it.
     warmup_fraction:
         Fraction of the trace duration excluded from statistics while
         queues and caches warm up.
@@ -75,6 +83,18 @@ def run_trace(
     -------
     RunResult with response-time statistics and per-array counters.
     """
+    if backend not in ("des", "analytic"):
+        raise ValueError(f"unknown backend {backend!r}; expected 'des' or 'analytic'")
+    if backend == "analytic":
+        if validate or checkers is not None:
+            raise ValueError("the analytic backend has no events to validate")
+        if (trace is not False and trace is not None) or (
+            metrics is not False and metrics is not None
+        ):
+            raise ValueError("the analytic backend has no events to trace/meter")
+        from repro.analytic import solve_trace
+
+        return solve_trace(config, workload, warmup_fraction=warmup_fraction, name=name)
     if workload.blocks_per_disk != config.blocks_per_disk:
         raise ValueError(
             f"trace uses {workload.blocks_per_disk} blocks/disk but the config "

@@ -1,0 +1,112 @@
+"""DES vs analytic cross-validation harness.
+
+Every organization is checked on a grid of Poisson arrival rates below
+the saturation knee: the discrete-event simulator and the M/G/1
+analytic backend must agree on mean response time within the
+per-organization tolerance bands documented in
+:mod:`repro.analytic.validation`.
+
+A small subset (one mid-load point per organization) runs in tier-1;
+the full grid is marked ``slow``.  If a band trips after a model
+change, the fix is in the model — see TESTING.md before touching the
+band constants.
+"""
+
+import pytest
+
+from repro.analytic import AnalyticSaturationError, tolerance_for
+from repro.sim import run_trace
+from tests.analytic.workload import both_backends, config, poisson_trace
+
+# One trace per (rate, block-size mix); built lazily, reused across
+# organizations so every org sees the identical workload.
+_traces = {}
+
+
+def _trace(rate, nblocks=(1,)):
+    key = (rate, nblocks)
+    if key not in _traces:
+        _traces[key] = poisson_trace(rate, nblocks=nblocks)
+    return _traces[key]
+
+
+def _assert_within_band(org, rate, cached=False, nblocks=(1,)):
+    trace = _trace(rate, nblocks)
+    kw = dict(cached=True, cache_mb=2) if cached else {}
+    des, analytic = both_backends(org, trace, **kw)
+    tol = tolerance_for(org, cached=cached)
+    err = (analytic.mean_response_ms - des.mean_response_ms) / des.mean_response_ms
+    assert abs(err) <= tol, (
+        f"{org}{' cached' if cached else ''} @ rate={rate}/ms: "
+        f"DES {des.mean_response_ms:.2f} ms vs analytic "
+        f"{analytic.mean_response_ms:.2f} ms ({err:+.1%}, band ±{tol:.0%})"
+    )
+
+
+# -- tier-1 subset: one mid-load point per uncached organization -------------
+
+
+class TestFastSubset:
+    @pytest.mark.parametrize("org,rate", [
+        ("base", 0.10),
+        ("mirror", 0.10),
+        ("raid5", 0.08),
+        ("parity_striping", 0.08),
+    ])
+    def test_uncached_mid_load(self, org, rate):
+        _assert_within_band(org, rate)
+
+    def test_cached_mid_load(self):
+        _assert_within_band("raid5", 0.08, cached=True)
+
+
+# -- full grid (slow): rates below the knee, cached orgs, mixed sizes --------
+
+
+class TestFullGrid:
+    UNCACHED = [
+        ("base", 0.04), ("base", 0.16),
+        ("mirror", 0.04), ("mirror", 0.16),
+        ("raid5", 0.04), ("raid5", 0.12),
+        ("parity_striping", 0.04), ("parity_striping", 0.12),
+        # RAID4's dedicated parity disk saturates first; the paper only
+        # studies RAID4 with parity caching, so the uncached check stays
+        # well below the parity-disk knee.
+        ("raid4", 0.04), ("raid4", 0.06),
+    ]
+
+    CACHED = [
+        ("base", 0.06), ("base", 0.10),
+        ("raid5", 0.06), ("raid5", 0.10),
+        ("raid4", 0.06), ("raid4", 0.10),
+    ]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("org,rate", UNCACHED)
+    def test_uncached(self, org, rate):
+        _assert_within_band(org, rate)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("org,rate", CACHED)
+    def test_cached(self, org, rate):
+        _assert_within_band(org, rate, cached=True)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("org", ["base", "mirror", "raid5", "parity_striping"])
+    def test_mixed_request_sizes(self, org):
+        """Multi-block requests exercise striping spans and fork-join."""
+        _assert_within_band(org, 0.06, nblocks=(1, 1, 1, 1, 4, 8))
+
+
+# -- saturation behaviour ----------------------------------------------------
+
+
+class TestSaturation:
+    def test_overload_raises_named_error(self):
+        """Above the knee the solver refuses rather than extrapolating."""
+        trace = _trace(0.60)
+        with pytest.raises(AnalyticSaturationError):
+            run_trace(config("raid5"), trace, backend="analytic")
+
+    def test_saturation_error_is_a_value_error(self):
+        assert issubclass(AnalyticSaturationError, ValueError)

@@ -1,0 +1,139 @@
+"""Property-based tests for the analytic queueing building blocks.
+
+Hypothesis generates loads and service-time moments; the properties
+pin the structural facts every M/G/1 implementation must satisfy —
+monotonicity in load, the zero-load limit, saturation refusal, and
+agreement with the M/M/1 closed form for exponential service — plus
+the fork-join invariants the solver composes on top.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.queueing import (
+    _EXACT_MAX_BRANCHES,
+    _max_exponential_quadrature,
+    fork_join_max_exponential,
+    fork_join_response,
+    mg1_priority_waiting_times,
+    mg1_response_time,
+    mg1_waiting_time,
+    mm1_response_time,
+)
+
+# Service means in ms (disk accesses are ~5-40 ms); squared-coefficient
+#-of-variation in [0, 3] keeps the second moment physically plausible.
+means = st.floats(min_value=1.0, max_value=50.0)
+scvs = st.floats(min_value=0.0, max_value=3.0)
+# Utilizations strictly below saturation.
+rhos = st.floats(min_value=0.01, max_value=0.95)
+
+
+def second_moment(mean, scv):
+    return mean * mean * (1.0 + scv)
+
+
+class TestMG1Properties:
+    @given(mean=means, scv=scvs, rho1=rhos, rho2=rhos)
+    @settings(max_examples=60, deadline=None)
+    def test_waiting_monotone_in_arrival_rate(self, mean, scv, rho1, rho2):
+        lo, hi = sorted((rho1, rho2))
+        m2 = second_moment(mean, scv)
+        assert mg1_waiting_time(lo / mean, mean, m2) <= mg1_waiting_time(
+            hi / mean, mean, m2
+        )
+
+    @given(mean=means, scv=scvs)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_load_response_is_service_time(self, mean, scv):
+        m2 = second_moment(mean, scv)
+        assert mg1_response_time(0.0, mean, m2) == mean
+        # And the limit is continuous: vanishing load adds vanishing wait.
+        assert mg1_response_time(1e-9 / mean, mean, m2) == pytest.approx(mean)
+
+    @given(mean=means, scv=scvs, excess=st.floats(min_value=1e-6, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_saturation_raises(self, mean, scv, excess):
+        # The margin keeps lam * mean >= 1 through float rounding; the
+        # exact-boundary case is pinned deterministically below.
+        lam = (1.0 + excess) / mean
+        with pytest.raises(ValueError):
+            mg1_waiting_time(lam, mean, second_moment(mean, scv))
+        with pytest.raises(ValueError):
+            mg1_priority_waiting_times([(lam, mean, second_moment(mean, scv))])
+
+    def test_saturation_boundary_exact(self):
+        """Utilization of exactly 1 (representable: 16 * 1/16) refuses."""
+        with pytest.raises(ValueError):
+            mg1_waiting_time(0.0625, 16.0, 512.0)
+        with pytest.raises(ValueError):
+            mm1_response_time(0.0625, 16.0)
+
+    @given(mean=means, rho=rhos)
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_service_matches_mm1(self, mean, rho):
+        """With E[S²] = 2E[S]² the P–K formula *is* the M/M/1 answer."""
+        lam = rho / mean
+        assert mg1_response_time(lam, mean, 2.0 * mean * mean) == pytest.approx(
+            mm1_response_time(lam, mean)
+        )
+
+    @given(mean=means, scv=scvs, rho=rhos)
+    @settings(max_examples=60, deadline=None)
+    def test_single_priority_class_is_plain_mg1(self, mean, scv, rho):
+        lam = rho / mean
+        m2 = second_moment(mean, scv)
+        (wait,) = mg1_priority_waiting_times([(lam, mean, m2)])
+        assert wait == pytest.approx(mg1_waiting_time(lam, mean, m2))
+
+    @given(mean=means, scv=scvs, rho=rhos, bg_scale=st.floats(0.1, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_background_class_waits_longer(self, mean, scv, rho, bg_scale):
+        lam = 0.5 * rho / mean
+        m2 = second_moment(mean, scv)
+        waits = mg1_priority_waiting_times(
+            [(lam, mean, m2), (lam * bg_scale, mean, m2)]
+        )
+        assert waits[0] <= waits[1]
+
+
+class TestForkJoinProperties:
+    branch_lists = st.lists(means, min_size=1, max_size=8)
+
+    @given(branch_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_max_at_least_slowest_branch(self, branches):
+        assert fork_join_max_exponential(branches) >= max(branches) * (1 - 1e-12)
+
+    @given(mean=means)
+    @settings(max_examples=30, deadline=None)
+    def test_single_branch_identity(self, mean):
+        assert fork_join_max_exponential([mean]) == pytest.approx(mean)
+        assert fork_join_response([mean], utilization=0.5) == mean
+
+    @given(branch_lists, st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_response_bounded_by_independence(self, branches, rho):
+        """Synchronized arrivals can only *reduce* E[max], never below
+        the slowest branch."""
+        resp = fork_join_response(branches, utilization=rho)
+        assert max(branches) <= resp <= fork_join_max_exponential(branches) + 1e-9
+
+    @given(st.lists(means, min_size=2, max_size=_EXACT_MAX_BRANCHES))
+    @settings(max_examples=40, deadline=None)
+    def test_quadrature_matches_inclusion_exclusion(self, branches):
+        """The wide-fan-out integration path agrees with the exact sum
+        on every width where the exact sum is affordable."""
+        exact = fork_join_max_exponential(branches)
+        quad = _max_exponential_quadrature(branches)
+        assert quad == pytest.approx(exact, rel=1e-6)
+
+    def test_two_homogeneous_branches_reproduce_nelson_tantawi(self):
+        """R₂ = (12 − ρ)/8 · R for two identical M/M/1 branches."""
+        r, rho = 20.0, 0.6
+        assert fork_join_response([r, r], utilization=rho) == pytest.approx(
+            (12.0 - rho) / 8.0 * r
+        )

@@ -1,0 +1,48 @@
+"""Shared workload builders for the analytic cross-validation tests.
+
+The cross-validation traces are *Poisson* by construction — uniform
+block addresses, exponential interarrivals — because that is the
+arrival process the M/G/1 backend assumes.  Validating against a
+bursty trace would conflate the queueing approximation error with the
+(documented, expected) Poisson-assumption error; the campaign-level
+tolerance in :mod:`repro.analytic.validation` covers the latter.
+"""
+
+import numpy as np
+
+from repro.sim import Organization, SystemConfig, run_trace
+from repro.trace import TRACE_DTYPE, Trace
+
+#: Disks per array in the cross-validation rig.  Small enough that a
+#: DES run takes well under a second, large enough to exercise striping
+#: and parity rotation.
+NDISKS = 4
+#: Blocks per logical disk; divisible by NDISKS + 1 so every parity
+#: organization lays out evenly.
+BPD = 1980
+
+
+def poisson_trace(rate_per_ms, seed=42, ndisks=NDISKS, bpd=BPD,
+                  write_frac=0.3, n=4000, nblocks=(1,)):
+    """A seeded Poisson workload: uniform addresses, exponential gaps."""
+    rng = np.random.default_rng(seed)
+    records = np.zeros(n, dtype=TRACE_DTYPE)
+    records["time"] = np.cumsum(rng.exponential(1.0 / rate_per_ms, size=n))
+    records["lblock"] = rng.integers(0, ndisks * bpd - max(nblocks), size=n)
+    records["nblocks"] = rng.choice(nblocks, size=n)
+    records["is_write"] = rng.random(n) < write_frac
+    return Trace(records, ndisks, bpd, name=f"poisson-{rate_per_ms}-{seed}")
+
+
+def config(org, **kw):
+    kw.setdefault("blocks_per_disk", BPD)
+    kw.setdefault("n", NDISKS)
+    return SystemConfig(organization=Organization.parse(org), **kw)
+
+
+def both_backends(org, trace, **cfg_kw):
+    """Mean response of the same (org, trace) point on DES and analytic."""
+    cfg = config(org, **cfg_kw)
+    des = run_trace(cfg, trace, warmup_fraction=0.1)
+    analytic = run_trace(cfg, trace, warmup_fraction=0.1, backend="analytic")
+    return des, analytic

@@ -1,0 +1,61 @@
+"""Golden-snapshot regression tests for the analytic backend.
+
+One fixture per organization, produced by the M/G/1 fast solver on a
+seeded Poisson workload (the arrival process the solver models — the
+heavily bursty validation trace sits above its saturation knee by
+design).  The solver is pure computation, so two back-to-back runs
+must agree *bit-exactly* before either is compared against the
+fixture; any drift in the decomposition, the service-time moments, or
+the queueing formulas shows up as a named field diff.
+
+Regenerate after an intentional model change with::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+and review the fixture diff like any other code change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim import run_trace
+from repro.validate import compare_snapshots, load_snapshot, save_snapshot, snapshot
+from repro.validate.golden import diff_snapshots
+from tests.analytic.workload import config, poisson_trace
+
+FIXTURES = Path(__file__).parent
+
+CASES = {
+    "analytic_base_n4": dict(org="base"),
+    "analytic_mirror_n4": dict(org="mirror"),
+    "analytic_raid5_n4": dict(org="raid5"),
+    "analytic_raid4_n4": dict(org="raid4"),
+    "analytic_paritystripe_n4": dict(org="parity_striping"),
+    "analytic_raid5_cached_n4": dict(org="raid5", cached=True, cache_mb=2),
+}
+
+
+def golden_solve(case_kw):
+    kw = dict(case_kw)
+    cfg = config(kw.pop("org"), **kw)
+    trace = poisson_trace(0.08, seed=11, n=800, nblocks=(1, 1, 1, 4))
+    return run_trace(cfg, trace, warmup_fraction=0.1, backend="analytic")
+
+
+class TestGoldenAnalytic:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_matches_golden(self, case, request):
+        path = FIXTURES / f"{case}.json"
+        first = snapshot(golden_solve(CASES[case]))
+        second = snapshot(golden_solve(CASES[case]))
+        assert diff_snapshots(first, second, rtol=0.0, atol=0.0) == []
+
+        if request.config.getoption("--regen-golden"):
+            save_snapshot(path, first)
+            return
+        expected = load_snapshot(path)
+        assert expected is not None, (
+            f"missing fixture {path.name}; run pytest with --regen-golden"
+        )
+        compare_snapshots(expected, first, rtol=1e-6, atol=1e-9)

@@ -126,6 +126,13 @@ class TestQueueingModels:
         w_exp = mg1_waiting_time(lam, mean, 2 * mean * mean)
         assert w_det == pytest.approx(w_exp / 2)
 
+    def test_zero_arrival_rate_waits_exactly_zero(self):
+        """Regression: an empty arrival stream must wait exactly 0 —
+        the P–K numerator (λ E[S²]) must not leak a spurious epsilon or
+        0·inf through the zero-load branch."""
+        assert mg1_waiting_time(0.0, 20.0, 800.0) == 0.0
+        assert mg1_response_time(0.0, 20.0, 800.0) == 20.0
+
     def test_unstable_rejected(self):
         with pytest.raises(ValueError):
             mg1_waiting_time(0.06, 20.0, 800.0)
