@@ -104,8 +104,13 @@ def main(argv=None):
         "campaigns": campaigns,
         "best_speedup": max((c["speedup"] or 0) for c in campaigns),
     }
+    # Persist in the normalized repro-bench/1 schema (raw report kept
+    # inside) so the file feeds straight into `python -m repro.bench
+    # compare` without the legacy adapter.
+    from repro.bench.schema import normalize, to_json
+
     with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
+        json.dump(to_json(normalize(report, source=args.out)), fh, indent=2)
         fh.write("\n")
     print(json.dumps(report, indent=2))
     print(f"wrote {args.out}", file=sys.stderr)

@@ -1,0 +1,40 @@
+"""Perf-trajectory analyzer: normalized bench records over time.
+
+``BENCH_*.json`` files were point-in-time snapshots in whatever shape
+the benchmark harness of the day emitted.  This package turns them into
+an *enforced trajectory*:
+
+* :mod:`repro.bench.schema` — a normalized bench-record schema
+  (``repro-bench/1``: named metrics with units and a better-direction)
+  plus adapters that read the historical ``campaign+kernel``
+  (BENCH_5) and ``analytic-vs-des`` (BENCH_6) shapes;
+* :mod:`repro.bench.trajectory` — baseline calculation (median of the
+  history) and direction-aware regression/improvement detection with a
+  configurable threshold;
+* ``python -m repro.bench`` — ``compare`` (trajectory table, nonzero
+  exit on regression: the CI gate), ``show`` (campaign-manifest
+  drill-down) and ``normalize`` (rewrite a legacy file in the shared
+  schema).
+"""
+
+from repro.bench.schema import (
+    BenchRecord,
+    BenchSchemaError,
+    Metric,
+    load_bench_file,
+    normalize,
+    to_json,
+)
+from repro.bench.trajectory import MetricTrajectory, TrajectoryReport, analyze
+
+__all__ = [
+    "BenchRecord",
+    "BenchSchemaError",
+    "Metric",
+    "MetricTrajectory",
+    "TrajectoryReport",
+    "analyze",
+    "load_bench_file",
+    "normalize",
+    "to_json",
+]

@@ -1,0 +1,173 @@
+"""Baseline calculation and regression detection over bench records.
+
+Given an ordered history of normalized :class:`~repro.bench.schema.
+BenchRecord` s (oldest first, newest last — the candidate), each metric
+gets:
+
+* a **baseline**: the median of its historical values (every record but
+  the candidate), robust to a single outlier run — the same idea as the
+  baseline calculator in ydb's metrics-analytics pipeline;
+* a signed **change**: ``(latest - baseline) / baseline``;
+* a direction-aware **status**: a ``higher``-is-better metric that drops
+  by at least the threshold is a regression, as is a ``lower``-is-better
+  metric that rises by it; the mirror cases are improvements.
+
+Metrics present only in the candidate are ``new``; metrics the candidate
+dropped are ``absent``; neither can fail a gate by itself (schema
+errors are the hard failure, handled by the CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.schema import BenchRecord
+
+__all__ = ["MetricTrajectory", "TrajectoryReport", "analyze", "render_table"]
+
+#: Tolerance for "at least the threshold" under float rounding.
+_EPS = 1e-9
+
+
+@dataclass
+class MetricTrajectory:
+    """One metric's history and verdict."""
+
+    name: str
+    unit: str
+    direction: str
+    values: List[Tuple[str, float]]  # (record source, value), oldest first
+    baseline: float = float("nan")
+    latest: float = float("nan")
+    change: float = float("nan")  # signed fraction vs baseline
+    status: str = "single"  # ok | regression | improved | new | absent | single
+
+    @property
+    def change_pct(self) -> float:
+        return self.change * 100.0
+
+
+@dataclass
+class TrajectoryReport:
+    """Every metric's trajectory plus the gate verdict."""
+
+    threshold: float
+    trajectories: List[MetricTrajectory] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricTrajectory]:
+        return [t for t in self.trajectories if t.status == "regression"]
+
+    @property
+    def improvements(self) -> List[MetricTrajectory]:
+        return [t for t in self.trajectories if t.status == "improved"]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+
+def _status(direction: str, change: float, threshold: float) -> str:
+    # Positive change = value went up.  Whether that is good depends on
+    # the metric's better-direction.
+    worse = -change if direction == "higher" else change
+    if worse >= threshold - _EPS:
+        return "regression"
+    if -worse >= threshold - _EPS:
+        return "improved"
+    return "ok"
+
+
+def analyze(records: Sequence[BenchRecord], threshold: float = 0.2) -> TrajectoryReport:
+    """Build the trajectory report for *records* (oldest → newest).
+
+    The last record is the candidate; everything before it is history.
+    With fewer than two records every metric is ``single`` and nothing
+    can regress.
+    """
+    if not records:
+        raise ValueError("need at least one bench record")
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+
+    candidate = records[-1]
+    history = records[:-1]
+
+    all_names: Dict[str, None] = {}
+    for record in records:
+        for name in record.metrics:
+            all_names.setdefault(name)
+
+    report = TrajectoryReport(threshold=threshold)
+    for name in sorted(all_names):
+        carriers = [r for r in records if name in r.metrics]
+        sample = carriers[-1].metrics[name]
+        traj = MetricTrajectory(
+            name=name,
+            unit=sample.unit,
+            direction=sample.direction,
+            values=[(r.source, r.metrics[name].value) for r in carriers],
+        )
+        hist_values = [r.metrics[name].value for r in history if name in r.metrics]
+        in_candidate = name in candidate.metrics
+
+        if not history:
+            traj.status = "single"
+            traj.latest = sample.value
+        elif not in_candidate:
+            traj.status = "absent"
+            traj.baseline = median(hist_values)
+        elif not hist_values:
+            traj.status = "new"
+            traj.latest = candidate.metrics[name].value
+        else:
+            traj.latest = candidate.metrics[name].value
+            traj.baseline = median(hist_values)
+            if traj.baseline == 0:
+                traj.change = 0.0 if traj.latest == 0 else float("inf")
+            else:
+                traj.change = (traj.latest - traj.baseline) / abs(traj.baseline)
+            traj.status = _status(traj.direction, traj.change, threshold)
+        report.trajectories.append(traj)
+    return report
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if value == float("inf"):
+        return "inf"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def render_table(report: TrajectoryReport) -> str:
+    """The trajectory as an aligned text table."""
+    header = ["metric", "unit", "dir", "baseline", "latest", "change", "status"]
+    rows = []
+    for t in report.trajectories:
+        change = "-" if t.change != t.change else f"{t.change_pct:+.1f}%"
+        rows.append(
+            [
+                t.name,
+                t.unit or "-",
+                t.direction,
+                _fmt(t.baseline),
+                _fmt(t.latest),
+                change,
+                t.status.upper() if t.status == "regression" else t.status,
+            ]
+        )
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows)
+    return "\n".join(lines)

@@ -9,6 +9,11 @@ Usage::
 ``--jobs N`` fans the campaign's independent simulation points out over
 N worker processes; the merged output is byte-identical to a serial run
 (``--jobs 1``, the default).  ``--jobs 0`` uses one worker per core.
+
+``--manifest PATH`` records per-point telemetry (JSONL manifest plus a
+``*.summary.json``); ``--resume`` serves unchanged points from the
+content-keyed result store.  Inspect manifests with
+``python -m repro.bench show PATH``.
 """
 
 from __future__ import annotations
@@ -54,6 +59,18 @@ def main(argv: list[str] | None = None) -> int:
         help="simulation points: discrete-event (default) or the fast "
         "M/G/1 analytic solver (see README 'Fast analytic backend')",
     )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write a per-point JSONL campaign manifest (plus a "
+        "*.summary.json next to it; see README 'Campaign telemetry')",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve unchanged points from the content-keyed result store "
+        "and persist fresh ones (REPRO_RESULT_STORE sets the directory)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--json", metavar="PATH", help="also dump results as JSON")
     parser.add_argument(
@@ -72,19 +89,30 @@ def main(argv: list[str] | None = None) -> int:
 
     jobs = args.jobs
     campaign = None
-    if jobs != 1:
+    recorder = None
+    if jobs != 1 or args.manifest or args.resume:
         from repro.experiments.parallel import (
+            ProgressPrinter,
             default_jobs,
             run_campaign,
-            stderr_progress,
         )
 
         if jobs <= 0:
             jobs = default_jobs()
-        hook = stderr_progress if args.progress else None
+        if args.manifest:
+            from repro.experiments.telemetry import CampaignRecorder
+
+            recorder = CampaignRecorder(args.manifest)
+        hook = ProgressPrinter() if args.progress else None
         t0 = time.time()
         campaign = run_campaign(
-            ids, args.scale, jobs=jobs, progress=hook, backend=args.backend
+            ids,
+            args.scale,
+            jobs=jobs,
+            progress=hook,
+            backend=args.backend,
+            recorder=recorder,
+            resume=args.resume,
         )
         campaign_elapsed = time.time() - t0
     elif args.progress:
@@ -127,6 +155,24 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"[campaign: {len(ids)} experiment(s) over {jobs} worker(s) "
             f"in {campaign_elapsed:.1f} s]",
+            file=sys.stderr,
+        )
+    if recorder is not None:
+        from repro.experiments.trace_cache import stats
+
+        summary = recorder.finalize(
+            experiments=ids,
+            scale=args.scale,
+            jobs=jobs,
+            backend=args.backend,
+            resume=args.resume,
+            elapsed_s=round(campaign_elapsed, 4),
+            trace_cache_parent=stats().as_dict(),
+        )
+        print(
+            f"[manifest: {recorder.manifest_path} — {summary['points']} point(s), "
+            f"{summary['computed']} computed, {summary['stored']} stored; "
+            f"summary: {recorder.summary_path}]",
             file=sys.stderr,
         )
     if args.json:

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.points import (
@@ -38,8 +39,21 @@ from repro.experiments.points import (
     with_backend,
 )
 from repro.experiments.registry import get_experiment
+from repro.experiments.telemetry import (
+    CampaignRecorder,
+    PointRecord,
+    evaluate_point,
+    whole_unit_record,
+)
 
-__all__ = ["CampaignError", "default_jobs", "run_campaign", "run_points_parallel"]
+__all__ = [
+    "CampaignError",
+    "ProgressPrinter",
+    "default_jobs",
+    "run_campaign",
+    "run_points_parallel",
+    "stderr_progress",
+]
 
 #: Signature of a progress callback: ``progress(done, total, label)``.
 ProgressHook = Callable[[int, int, str], None]
@@ -57,9 +71,71 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
-def stderr_progress(done: int, total: int, label: str) -> None:
-    """Default progress reporter: one line per completed unit."""
-    print(f"[{done}/{total}] {label}", file=sys.stderr, flush=True)
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressPrinter:
+    """Throttled stderr progress with elapsed time and ETA.
+
+    On a TTY the line rewrites in place (``\\r``); on CI logs and other
+    non-TTY streams it falls back to plain lines, throttled to one per
+    *interval* seconds so a thousand-point campaign does not emit a
+    thousand lines.  The first and last units always print, and a new
+    campaign (``done`` resetting) restarts the clock.
+    """
+
+    def __init__(self, interval_s: float = 1.0, stream=None) -> None:
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self._t0: Optional[float] = None
+        self._last_print = -float("inf")
+        self._last_done = 0
+        self._line_open = False
+
+    def _is_tty(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        return bool(isatty()) if isatty else False
+
+    def __call__(self, done: int, total: int, label: str) -> None:
+        now = time.perf_counter()
+        if self._t0 is None or done <= self._last_done:
+            self._t0 = now
+            self._last_print = -float("inf")
+        self._last_done = done
+
+        final = done >= total
+        if not final and done > 1 and now - self._last_print < self.interval_s:
+            return
+        self._last_print = now
+
+        elapsed = now - self._t0
+        if done and total > done and elapsed > 0:
+            eta = f" eta {_format_eta(elapsed / done * (total - done))}"
+        else:
+            eta = ""
+        text = f"[{done}/{total}] {elapsed:.1f}s{eta} {label}"
+        if self._is_tty():
+            pad = ""
+            if self._line_open:
+                pad = " " * max(0, getattr(self, "_prev_len", 0) - len(text))
+            end = "\n" if final else ""
+            print(f"\r{text}{pad}", end=end, file=self.stream, flush=True)
+            self._prev_len = len(text)
+            self._line_open = not final
+        else:
+            print(text, file=self.stream, flush=True)
+
+
+#: Shared default reporter (the CLI's ``--progress``); kept as a
+#: module-level callable for backwards compatibility with the old
+#: line-per-unit function of the same name.
+stderr_progress: ProgressHook = ProgressPrinter()
 
 
 # -- worker-side entry points (module-level: picklable under spawn) ----------
@@ -69,8 +145,16 @@ def _eval_point(point: Point) -> PointValue:
     return run_point(point)
 
 
-def _eval_whole(exp_id: str, scale: float) -> List[ExperimentResult]:
-    return get_experiment(exp_id).run(scale)
+def _eval_point_recorded(point: Point, resume: bool) -> Tuple[PointValue, PointRecord]:
+    return evaluate_point(point, resume=resume)
+
+
+def _eval_whole_timed(
+    exp_id: str, scale: float
+) -> Tuple[List[ExperimentResult], PointRecord]:
+    t0 = time.perf_counter()
+    results = get_experiment(exp_id).run(scale)
+    return results, whole_unit_record(exp_id, time.perf_counter() - t0)
 
 
 # -- engine ------------------------------------------------------------------
@@ -80,17 +164,29 @@ def run_points_parallel(
     points: Sequence[Point],
     jobs: int,
     progress: Optional[ProgressHook] = None,
+    recorder: Optional[CampaignRecorder] = None,
+    resume: bool = False,
 ) -> Dict[tuple, PointValue]:
     """Evaluate *points* over *jobs* workers into a ``key -> value`` map.
 
     With ``jobs <= 1`` this is :func:`~repro.experiments.points.
-    run_points`.  Keys must be unique across the sequence.
+    run_points`.  Keys must be unique across the sequence.  A
+    *recorder* collects one telemetry record per point; *resume* serves
+    values from the point-result store where possible (checked in the
+    parent, so stored points never reach a worker) and persists each
+    computed value worker-side as soon as it exists.
     """
     if jobs <= 1:
         total = len(points)
         values: Dict[tuple, PointValue] = {}
         for i, point in enumerate(points):
-            values[point.key] = run_point(point)
+            if recorder is not None or resume:
+                value, record = evaluate_point(point, resume=resume)
+                if recorder is not None:
+                    recorder.add(record)
+                values[point.key] = value
+            else:
+                values[point.key] = run_point(point)
             if progress is not None:
                 progress(i + 1, total, point.label())
         return values
@@ -102,16 +198,58 @@ def run_points_parallel(
         seen.add(point.key)
 
     values = {}
+    total = len(points)
+    done = 0
+    pending_points: List[Point] = []
+    if resume:
+        from repro.experiments import result_store
+        from repro.experiments.telemetry import stored_record
+
+        for point in points:
+            t0 = time.perf_counter()
+            key = result_store.point_key(point)
+            value = result_store.load_value(key)
+            if value is None:
+                pending_points.append(point)
+                continue
+            values[point.key] = value
+            if recorder is not None:
+                recorder.add(
+                    stored_record(point, key, value, time.perf_counter() - t0)
+                )
+            done += 1
+            if progress is not None:
+                progress(done, total, point.label())
+    else:
+        pending_points = list(points)
+
+    recorded = recorder is not None or resume
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {pool.submit(_eval_point, p): p for p in points}
-        _drain(futures, progress, lambda fut, point: values.__setitem__(point.key, fut.result()))
+        futures = {}
+        for p in pending_points:
+            if recorded:
+                futures[pool.submit(_eval_point_recorded, p, resume)] = p
+            else:
+                futures[pool.submit(_eval_point, p)] = p
+
+        def collect(fut, point):
+            if recorded:
+                value, record = fut.result()
+                if recorder is not None:
+                    recorder.add(record)
+            else:
+                value = fut.result()
+            values[point.key] = value
+
+        _drain(futures, progress, collect, done_start=done, total=total)
     return values
 
 
-def _drain(futures, progress, on_done) -> None:
+def _drain(futures, progress, on_done, done_start: int = 0, total: Optional[int] = None) -> None:
     """Collect *futures*, failing fast with the offending unit named."""
-    done_count = 0
-    total = len(futures)
+    done_count = done_start
+    if total is None:
+        total = done_start + len(futures)
     pending = set(futures)
     while pending:
         finished, pending = wait(pending, return_when=FIRST_EXCEPTION)
@@ -137,6 +275,8 @@ def run_campaign(
     jobs: int = 1,
     progress: Optional[ProgressHook] = None,
     backend: str = "des",
+    recorder: Optional[CampaignRecorder] = None,
+    resume: bool = False,
 ) -> Dict[str, List[ExperimentResult]]:
     """Run the experiments and return ``exp_id -> results``, in order.
 
@@ -153,54 +293,111 @@ def run_campaign(
         Evaluate simulation points on ``"des"`` (default) or the
         ``"analytic"`` fast solver.  Experiments without a point
         decomposition always run on the DES.
+    recorder:
+        Optional :class:`~repro.experiments.telemetry.CampaignRecorder`
+        collecting one telemetry record per executed unit (the caller
+        finalizes it into the manifest).  With a recorder, serial runs
+        route decomposed experiments through the same points path the
+        parallel engine uses — output is identical by the
+        ``run == assemble(run_points(points))`` contract.
+    resume:
+        Serve previously computed points from the content-keyed result
+        store and persist fresh values into it, so interrupted or
+        repeated campaigns only compute what is missing.
     """
     experiments = [get_experiment(e) for e in exp_ids]
+    instrumented = recorder is not None or resume
 
     if jobs <= 1:
         out: Dict[str, List[ExperimentResult]] = {}
         # Count units only for progress reporting; execution is the
-        # plain serial driver path.
+        # plain serial driver path (or its instrumented twin).
         done = 0
         total = len(experiments)
         for exp in experiments:
-            if backend != "des" and exp.points is not None:
+            if exp.points is not None and (backend != "des" or instrumented):
                 pts = with_backend(exp.points(scale), backend)
-                out[exp.exp_id] = exp.assemble(scale, run_points(pts))
+                values = run_points_parallel(
+                    pts, jobs=1, recorder=recorder, resume=resume
+                )
+                out[exp.exp_id] = exp.assemble(scale, values)
             else:
+                t0 = time.perf_counter()
                 out[exp.exp_id] = exp.run(scale)
+                if recorder is not None:
+                    recorder.add(
+                        whole_unit_record(exp.exp_id, time.perf_counter() - t0)
+                    )
             done += 1
             if progress is not None:
                 progress(done, total, exp.exp_id)
         return out
 
     point_lists: Dict[str, List[Point]] = {}
-    tasks: List[tuple] = []  # ("point", Point) | ("whole", exp_id)
+    whole_ids: List[str] = []
+    all_points: List[Point] = []
     for exp in experiments:
         if exp.points is not None and exp.assemble is not None:
             pts = with_backend(exp.points(scale), backend)
             point_lists[exp.exp_id] = pts
-            tasks.extend(("point", p) for p in pts)
+            all_points.extend(pts)
         else:
-            tasks.append(("whole", exp.exp_id))
+            whole_ids.append(exp.exp_id)
 
     point_values: Dict[str, Dict[tuple, PointValue]] = {e: {} for e in point_lists}
     whole_results: Dict[str, List[ExperimentResult]] = {}
+    total = len(all_points) + len(whole_ids)
+    done = 0
+
+    # Parent-side store pre-check: stored points never reach a worker.
+    pending_points = all_points
+    if resume:
+        from repro.experiments import result_store
+        from repro.experiments.telemetry import stored_record
+
+        pending_points = []
+        for point in all_points:
+            t0 = time.perf_counter()
+            key = result_store.point_key(point)
+            value = result_store.load_value(key)
+            if value is None:
+                pending_points.append(point)
+                continue
+            point_values[point.exp_id][point.key] = value
+            if recorder is not None:
+                recorder.add(
+                    stored_record(point, key, value, time.perf_counter() - t0)
+                )
+            done += 1
+            if progress is not None:
+                progress(done, total, point.label())
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {}
-        for kind, payload in tasks:
-            if kind == "point":
-                futures[pool.submit(_eval_point, payload)] = payload
+        for p in pending_points:
+            if instrumented:
+                futures[pool.submit(_eval_point_recorded, p, resume)] = p
             else:
-                futures[pool.submit(_eval_whole, payload, scale)] = payload
+                futures[pool.submit(_eval_point, p)] = p
+        for exp_id in whole_ids:
+            futures[pool.submit(_eval_whole_timed, exp_id, scale)] = exp_id
 
         def collect(fut, unit):
             if isinstance(unit, Point):
-                point_values[unit.exp_id][unit.key] = fut.result()
+                if instrumented:
+                    value, record = fut.result()
+                    if recorder is not None:
+                        recorder.add(record)
+                else:
+                    value = fut.result()
+                point_values[unit.exp_id][unit.key] = value
             else:
-                whole_results[unit] = fut.result()
+                results, record = fut.result()
+                whole_results[unit] = results
+                if recorder is not None:
+                    recorder.add(record)
 
-        _drain(futures, progress, collect)
+        _drain(futures, progress, collect, done_start=done, total=total)
 
     out = {}
     for exp in experiments:

@@ -141,6 +141,7 @@ def run_point(point: Point) -> PointValue:
         return PointValue(
             mean_response_ms=res.mean_response_ms,
             physical_disks=len(res.per_disk_accesses),
+            extras=(("events", float(res.events)),),
         )
     if point.kind == "hitratio":
         from repro.cache import simulate_hit_ratios

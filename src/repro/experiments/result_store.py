@@ -1,0 +1,167 @@
+"""Content-keyed point-result store: memoize campaign *outputs*.
+
+The trace cache (:mod:`repro.experiments.trace_cache`) memoizes the
+expensive *inputs* of a campaign; this module does the same for the
+outputs.  Every :class:`~repro.experiments.points.Point` has a stable
+content hash over everything that determines its value — the trace
+recipe, the evaluator kind, the organization and every keyword override
+(including the solver backend) plus a format version — and the store
+maps that hash to the evaluated
+:class:`~repro.experiments.points.PointValue` as a small JSON file.
+
+Because point evaluation is deterministic (seeded RNGs, content-keyed
+traces), a stored value is *the* value: serving it instead of
+recomputing cannot change campaign output.  That gives two behaviours
+for free:
+
+* ``--resume``: a campaign interrupted half-way re-runs only the
+  missing points (workers persist each value as soon as it is
+  computed);
+* skip-unchanged re-runs: repeating a campaign with a warm store
+  recomputes nothing, and any config change (scale, backend, override)
+  changes the hash so stale values can never alias.
+
+The store is consulted only when a caller opts in (the engine's
+``resume`` flag); provenance — served from the store vs computed — is
+recorded per point in the campaign manifest.
+
+Environment variables
+---------------------
+``REPRO_RESULT_STORE``
+    Store directory.  Defaults to ``~/.cache/repro/results``.  Set to
+    ``off`` (or ``0``/``none``) to disable the store even when a
+    campaign asks to resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.points import Point, PointValue
+
+__all__ = [
+    "load_value",
+    "point_key",
+    "store_dir",
+    "store_value",
+]
+
+#: Bump when the PointValue layout or the evaluators' semantics change —
+#: stored values from older formats must never be served.
+_FORMAT_VERSION = 1
+
+_VALUE_FIELDS = (
+    "mean_response_ms",
+    "read_hit_ratio",
+    "write_hit_ratio",
+    "physical_disks",
+)
+
+
+def store_dir() -> Optional[Path]:
+    """The on-disk store directory, or ``None`` when disabled."""
+    raw = os.environ.get("REPRO_RESULT_STORE")
+    if raw is not None:
+        if raw.strip().lower() in ("off", "0", "none", ""):
+            return None
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "repro" / "results"
+
+
+def point_key(point: Point) -> str:
+    """Stable content hash of everything that determines a point's value.
+
+    The figure-placement identity (``exp_id``, ``key``) is deliberately
+    excluded: two figures sweeping the same (trace, organization,
+    overrides) cell share one stored value.
+    """
+    payload = {
+        "__format__": _FORMAT_VERSION,
+        "spec": {
+            "which": point.spec.which,
+            "scale": point.spec.scale,
+            "speed": point.spec.speed,
+            "n": point.spec.n,
+        },
+        "kind": point.kind,
+        "org": point.org,
+        "overrides": [[k, repr(v)] for k, v in point.overrides],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:32]
+
+
+def _path_for(key: str) -> Optional[Path]:
+    base = store_dir()
+    return None if base is None else base / f"{key}.json"
+
+
+def _encode(value: float) -> Optional[float]:
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def _decode(value) -> float:
+    return math.nan if value is None else float(value)
+
+
+def store_value(key: str, value: PointValue) -> None:
+    """Persist *value* under *key* (atomic; never fails the run)."""
+    path = _path_for(key)
+    if path is None:
+        return
+    doc = {
+        "format": _FORMAT_VERSION,
+        "value": {
+            "mean_response_ms": _encode(value.mean_response_ms),
+            "read_hit_ratio": _encode(value.read_hit_ratio),
+            "write_hit_ratio": _encode(value.write_hit_ratio),
+            "physical_disks": value.physical_disks,
+            "extras": [[k, _encode(v)] for k, v in value.extras],
+        },
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".json.tmp", dir=path.parent)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full store directory must never fail the run.
+        pass
+
+
+def load_value(key: str) -> Optional[PointValue]:
+    """The stored value for *key*, or ``None`` (missing/corrupt/stale)."""
+    path = _path_for(key)
+    if path is None or not path.exists():
+        return None
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("format") != _FORMAT_VERSION:
+            return None
+        raw = doc["value"]
+        return PointValue(
+            mean_response_ms=_decode(raw["mean_response_ms"]),
+            read_hit_ratio=_decode(raw["read_hit_ratio"]),
+            write_hit_ratio=_decode(raw["write_hit_ratio"]),
+            physical_disks=int(raw["physical_disks"]),
+            extras=tuple((str(k), _decode(v)) for k, v in raw.get("extras", [])),
+        )
+    except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+        # Truncated/corrupt/foreign file: recompute rather than fail.
+        return None

@@ -1,0 +1,341 @@
+"""Campaign telemetry: per-point records, manifest and summary.
+
+PRs 5–6 made campaigns parallel and fast; this module makes them
+*observable*.  Every work unit the engine executes — a decomposed
+:class:`~repro.experiments.points.Point` or a whole-experiment unit —
+emits a structured :class:`PointRecord`: the content hash of its
+configuration, the solver backend, wall time, kernel events simulated
+(and events/s), the trace-cache traffic it caused, which OS process
+evaluated it, and whether the value was computed or served from the
+point-result store.
+
+A :class:`CampaignRecorder` collects the records (in whatever order
+workers finish) and writes two artifacts atomically:
+
+* a JSONL **manifest** — one header line describing the campaign, then
+  one line per record, sorted by ``(exp_id, key)`` so serial and
+  ``--jobs N`` runs of the same campaign produce structurally identical
+  manifests (only the per-record wall/pid fields differ);
+* a **summary** JSON next to it — point-latency histograms (per
+  backend, via the mergeable log-bucket
+  :class:`~repro.obs.metrics.Histogram`), provenance and cache totals,
+  and aggregate throughput.
+
+Records never influence values: the instrumented evaluator wraps the
+exact serial evaluation path, so a campaign with telemetry produces
+byte-identical figures to one without.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.experiments import result_store, trace_cache
+from repro.experiments.points import Point, PointValue, run_point
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "SUMMARY_SCHEMA",
+    "CampaignRecorder",
+    "PointRecord",
+    "evaluate_point",
+    "read_manifest",
+    "stored_record",
+    "whole_unit_record",
+]
+
+MANIFEST_SCHEMA = "repro-campaign/1"
+SUMMARY_SCHEMA = "repro-campaign-summary/1"
+
+
+@dataclass
+class PointRecord:
+    """Telemetry for one executed campaign unit."""
+
+    exp_id: str
+    key: List  # the point key, JSON-ified (tuple -> list)
+    kind: str  # "sim" | "hitratio" | "whole"
+    org: str
+    backend: str
+    config_hash: str
+    provenance: str  # "computed" | "stored"
+    wall_s: float
+    events: int
+    events_per_s: float
+    worker_pid: int
+    trace_cache: Dict[str, int] = field(default_factory=dict)
+    mean_response_ms: float = math.nan
+
+    def identity(self) -> tuple:
+        """The fields that must match between serial and parallel runs
+        of the same campaign (everything but timing and placement)."""
+        return (
+            self.exp_id,
+            tuple(self.key),
+            self.kind,
+            self.org,
+            self.backend,
+            self.config_hash,
+            self.events,
+        )
+
+
+def _backend_of(point: Point) -> str:
+    if point.kind != "sim":
+        return "fastsim"
+    return dict(point.overrides).get("backend", "des")
+
+
+def evaluate_point(
+    point: Point, resume: bool = False
+) -> Tuple[PointValue, PointRecord]:
+    """Evaluate one point with telemetry (in whatever process).
+
+    With ``resume`` the point-result store is consulted first and the
+    computed value persisted after a miss, so an interrupted campaign
+    picks up where it stopped.  The returned record carries the
+    provenance either way.
+    """
+    key = result_store.point_key(point)
+    before = trace_cache.stats()
+    t0 = time.perf_counter()
+
+    value = result_store.load_value(key) if resume else None
+    provenance = "stored" if value is not None else "computed"
+    if value is None:
+        value = run_point(point)
+        if resume:
+            result_store.store_value(key, value)
+
+    wall = time.perf_counter() - t0
+    # Events *this run* simulated: a store hit did no kernel work.
+    events = int(dict(value.extras).get("events", 0.0)) if provenance == "computed" else 0
+    record = PointRecord(
+        exp_id=point.exp_id,
+        key=list(point.key),
+        kind=point.kind,
+        org=point.org,
+        backend=_backend_of(point),
+        config_hash=key,
+        provenance=provenance,
+        wall_s=wall,
+        events=events,
+        events_per_s=(events / wall) if (events and wall > 0) else 0.0,
+        worker_pid=os.getpid(),
+        trace_cache=trace_cache.stats().delta(before).as_dict(),
+        mean_response_ms=value.mean_response_ms,
+    )
+    return value, record
+
+
+def stored_record(
+    point: Point, key: str, value: PointValue, wall_s: float = 0.0
+) -> PointRecord:
+    """Record for a point served from the result store without a worker
+    round-trip (the engine's parent-side pre-check)."""
+    return PointRecord(
+        exp_id=point.exp_id,
+        key=list(point.key),
+        kind=point.kind,
+        org=point.org,
+        backend=_backend_of(point),
+        config_hash=key,
+        provenance="stored",
+        wall_s=wall_s,
+        events=0,
+        events_per_s=0.0,
+        worker_pid=os.getpid(),
+        mean_response_ms=value.mean_response_ms,
+    )
+
+
+def whole_unit_record(exp_id: str, wall_s: float, backend: str = "des") -> PointRecord:
+    """Record for an experiment that has no point decomposition."""
+    return PointRecord(
+        exp_id=exp_id,
+        key=["whole"],
+        kind="whole",
+        org="",
+        backend=backend,
+        config_hash="",
+        provenance="computed",
+        wall_s=wall_s,
+        events=0,
+        events_per_s=0.0,
+        worker_pid=os.getpid(),
+    )
+
+
+def _jsonable(value):
+    """NaN-free JSON scalar (the manifest is strict JSON)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CampaignRecorder:
+    """Collects :class:`PointRecord` s and writes manifest + summary.
+
+    The recorder is order-insensitive: records arrive in completion
+    order (nondeterministic under ``--jobs N``) and are sorted by
+    ``(exp_id, key)`` at :meth:`finalize`, which is what makes parallel
+    manifests comparable to serial ones.
+    """
+
+    def __init__(self, manifest_path: Union[str, Path]) -> None:
+        self.manifest_path = Path(manifest_path)
+        self.records: List[PointRecord] = []
+        self._t0 = time.perf_counter()
+
+    @property
+    def summary_path(self) -> Path:
+        name = self.manifest_path.name
+        if name.endswith(".jsonl"):
+            name = name[: -len(".jsonl")]
+        return self.manifest_path.with_name(name + ".summary.json")
+
+    def add(self, record: PointRecord) -> None:
+        self.records.append(record)
+
+    # -- output ---------------------------------------------------------------
+    def _sorted_records(self) -> List[PointRecord]:
+        return sorted(
+            self.records, key=lambda r: (r.exp_id, [str(k) for k in r.key])
+        )
+
+    def _summary(self, meta: dict) -> dict:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache_totals: Dict[str, int] = {}
+        for rec in self.records:
+            registry.counter("points", provenance=rec.provenance).inc()
+            registry.histogram(
+                "point_wall_s", lo=1e-5, hi=1e4, backend=rec.backend
+            ).observe(rec.wall_s)
+            for k, v in rec.trace_cache.items():
+                cache_totals[k] = cache_totals.get(k, 0) + v
+
+        latency = {}
+        for name, labels, metric in registry:
+            if name != "point_wall_s":
+                continue
+            backend = dict(labels).get("backend", "")
+            latency[backend] = {
+                "count": metric.count,
+                "mean_s": _jsonable(round(metric.mean, 6)),
+                "p50_s": _jsonable(round(metric.percentile(50), 6)),
+                "p95_s": _jsonable(round(metric.percentile(95), 6)),
+                "max_s": _jsonable(round(metric.max, 6))
+                if metric.count
+                else None,
+                "buckets": [
+                    [round(metric.lower_edge(i), 6), c]
+                    for i, c in enumerate(metric.counts)
+                    if c
+                ],
+            }
+
+        events = sum(r.events for r in self.records)
+        computed_wall = sum(
+            r.wall_s for r in self.records if r.provenance == "computed"
+        )
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "points": len(self.records),
+            "computed": sum(1 for r in self.records if r.provenance == "computed"),
+            "stored": sum(1 for r in self.records if r.provenance == "stored"),
+            "wall_s": round(time.perf_counter() - self._t0, 4),
+            "events": events,
+            "events_per_s": round(events / computed_wall) if computed_wall else 0,
+            "trace_cache": cache_totals,
+            "point_latency": latency,
+            **meta,
+        }
+
+    def finalize(self, **meta) -> dict:
+        """Write the manifest and summary; returns the summary dict.
+
+        Keyword arguments (experiment ids, scale, jobs, backend, ...)
+        land in the manifest header and the summary verbatim.
+        """
+        header = {
+            "record": "campaign",
+            "schema": MANIFEST_SCHEMA,
+            "points": len(self.records),
+            **meta,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for rec in self._sorted_records():
+            doc = {"record": "point"}
+            doc.update({k: _jsonable(v) for k, v in asdict(rec).items()})
+            lines.append(json.dumps(doc, sort_keys=True))
+        _atomic_write_text(self.manifest_path, "\n".join(lines) + "\n")
+
+        summary = self._summary(meta)
+        _atomic_write_text(
+            self.summary_path, json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        return summary
+
+
+def read_manifest(path: Union[str, Path]) -> Tuple[dict, List[dict]]:
+    """Parse a manifest into ``(header, point_records)``.
+
+    Raises ``ValueError`` on structural problems (missing header, a
+    non-JSON line, a record without the required fields).
+    """
+    header: Optional[dict] = None
+    points: List[dict] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            kind = doc.get("record")
+            if kind == "campaign":
+                if header is not None:
+                    raise ValueError(f"{path}:{lineno}: duplicate campaign header")
+                header = doc
+            elif kind == "point":
+                missing = [
+                    k
+                    for k in ("exp_id", "key", "provenance", "wall_s", "backend")
+                    if k not in doc
+                ]
+                if missing:
+                    raise ValueError(
+                        f"{path}:{lineno}: point record missing {missing}"
+                    )
+                points.append(doc)
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record {kind!r}")
+    if header is None:
+        raise ValueError(f"{path}: no campaign header record")
+    return header, points

@@ -26,6 +26,11 @@ Environment variables
     the in-process LRU still applies.
 ``REPRO_TRACE_MEMCACHE``
     Size of the in-process LRU (default 4 traces; 0 disables it).
+
+Effectiveness is observable: every lookup bumps the process-local
+counters behind :func:`stats` (memory/disk hits, generations,
+evictions), which the campaign telemetry layer samples around each
+point to attribute cache traffic to the point that caused it.
 """
 
 from __future__ import annotations
@@ -45,11 +50,14 @@ from repro.trace.record import TRACE_DTYPE, Trace
 from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
 
 __all__ = [
+    "CacheStats",
     "cache_dir",
     "cached_generate",
     "clear_memory_cache",
     "config_key",
     "memory_cache_size",
+    "reset_stats",
+    "stats",
 ]
 
 #: Bump when the on-disk layout or the generator's draw order changes.
@@ -85,6 +93,63 @@ def config_key(cfg: SyntheticTraceConfig) -> str:
     return f"{cfg.name.replace('/', '_').replace('@', '_')}-{digest[:16]}"
 
 
+# -- statistics --------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Process-local effectiveness counters for both cache layers.
+
+    Every :func:`cached_generate` call ends in exactly one of
+    ``memory_hits``, ``disk_hits`` or ``generated``; the remaining
+    fields break down the disk layer (a ``disk_miss`` is a lookup that
+    found no usable file — corrupt files count here too) and the LRU's
+    capacity pressure (``memory_evictions``).
+    """
+
+    memory_hits: int = 0
+    memory_evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_stores: int = 0
+    generated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.generated
+
+    @property
+    def hit_ratio(self) -> float:
+        n = self.lookups
+        return (self.memory_hits + self.disk_hits) / n if n else float("nan")
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter increments since the *earlier* snapshot."""
+        return CacheStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in dataclasses.fields(CacheStats)
+            }
+        )
+
+
+_stats = CacheStats()
+
+
+def stats() -> CacheStats:
+    """A snapshot of the process-local cache counters."""
+    return dataclasses.replace(_stats)
+
+
+def reset_stats() -> None:
+    """Zero the counters (tests; per-campaign accounting)."""
+    global _stats
+    _stats = CacheStats()
+
+
 # -- in-process layer --------------------------------------------------------
 
 _memory: "OrderedDict[str, Trace]" = OrderedDict()
@@ -99,6 +164,7 @@ def _memory_get(key: str) -> Optional[Trace]:
     trace = _memory.get(key)
     if trace is not None:
         _memory.move_to_end(key)
+        _stats.memory_hits += 1
     return trace
 
 
@@ -110,6 +176,7 @@ def _memory_put(key: str, trace: Trace) -> None:
     _memory.move_to_end(key)
     while len(_memory) > cap:
         _memory.popitem(last=False)
+        _stats.memory_evictions += 1
 
 
 # -- disk layer --------------------------------------------------------------
@@ -176,14 +243,19 @@ def cached_generate(cfg: SyntheticTraceConfig) -> Trace:
         return trace
 
     path = _disk_path(key)
-    if path is not None and path.exists():
-        trace = _disk_load(path, cfg)
-        if trace is not None:
-            _memory_put(key, trace)
-            return trace
+    if path is not None:
+        if path.exists():
+            trace = _disk_load(path, cfg)
+            if trace is not None:
+                _stats.disk_hits += 1
+                _memory_put(key, trace)
+                return trace
+        _stats.disk_misses += 1
 
     trace = generate_trace(cfg)
+    _stats.generated += 1
     if path is not None:
         _disk_store(path, trace)
+        _stats.disk_stores += 1
     _memory_put(key, trace)
     return trace

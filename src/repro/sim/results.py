@@ -53,6 +53,10 @@ class RunResult:
     read_response: Tally = field(default_factory=Tally)
     write_response: Tally = field(default_factory=Tally)
     arrays: list[ArrayMetrics] = field(default_factory=list)
+    #: Kernel events scheduled during the run (0 for the analytic
+    #: backend, which has no event loop).  Telemetry only — excluded
+    #: from equality so it can never perturb result comparisons.
+    events: int = field(default=0, compare=False)
     #: Span trace from ``run_trace(..., trace=True)``; ``None`` otherwise.
     #: Excluded from equality so instrumented results compare equal to
     #: plain ones.

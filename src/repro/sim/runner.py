@@ -162,6 +162,7 @@ def run_trace(
     if len(workload):
         env.run(until=progress.all_done)
     result.simulated_ms = env.now
+    result.events = env._seq
 
     for controller in system.controllers:
         array_metrics = ArrayMetrics(

@@ -1,0 +1,181 @@
+"""Campaign manifest well-formedness and serial/parallel equivalence."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import run_campaign
+from repro.experiments.registry import get_experiment
+from repro.experiments.telemetry import (
+    MANIFEST_SCHEMA,
+    CampaignRecorder,
+    evaluate_point,
+    read_manifest,
+)
+
+SCALE = 0.01
+IDS = ["fig8", "fig6"]  # one decomposed, one whole-unit experiment
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_RESULT_STORE", "off")
+    from repro.experiments.trace_cache import clear_memory_cache
+
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def run_with_manifest(tmp_path, name, jobs):
+    recorder = CampaignRecorder(tmp_path / f"{name}.jsonl")
+    campaign = run_campaign(IDS, SCALE, jobs=jobs, recorder=recorder)
+    summary = recorder.finalize(
+        experiments=IDS, scale=SCALE, jobs=jobs, backend="des"
+    )
+    return campaign, recorder, summary
+
+
+def test_manifest_covers_every_point(tmp_path):
+    _, recorder, summary = run_with_manifest(tmp_path, "m", jobs=1)
+    header, points = read_manifest(recorder.manifest_path)
+    expected = len(get_experiment("fig8").points(SCALE)) + 1  # + fig6 whole
+    assert header["schema"] == MANIFEST_SCHEMA
+    assert header["points"] == expected
+    assert len(points) == expected
+    assert summary["points"] == expected
+    # Every decomposed point of fig8 appears exactly once.
+    keys = {tuple(p["key"]) for p in points if p["exp_id"] == "fig8"}
+    assert keys == {p.key for p in get_experiment("fig8").points(SCALE)}
+
+
+def test_records_are_well_formed(tmp_path):
+    _, recorder, _ = run_with_manifest(tmp_path, "m", jobs=1)
+    _, points = read_manifest(recorder.manifest_path)
+    for p in points:
+        assert p["provenance"] == "computed"
+        assert p["wall_s"] >= 0
+        assert p["worker_pid"] > 0
+        assert p["backend"] in ("des", "analytic", "fastsim")
+        if p["kind"] == "sim":
+            assert p["events"] > 0
+            assert p["events_per_s"] > 0
+            assert len(p["config_hash"]) == 32
+            assert isinstance(p["trace_cache"], dict)
+
+
+def test_manifest_is_strict_jsonl(tmp_path):
+    _, recorder, _ = run_with_manifest(tmp_path, "m", jobs=1)
+    text = recorder.manifest_path.read_text()
+    for line in text.strip().splitlines():
+        doc = json.loads(line)  # would raise on NaN/Infinity
+        assert doc["record"] in ("campaign", "point")
+    # json.loads with parse_constant guard: the file must not use the
+    # Python-only NaN literal.
+    assert "NaN" not in text
+
+
+#: Per-record fields that legitimately differ between runs/processes.
+VOLATILE = ("wall_s", "events_per_s", "worker_pid", "trace_cache")
+
+
+def stable(points):
+    return [{k: v for k, v in p.items() if k not in VOLATILE} for p in points]
+
+
+def test_serial_and_parallel_manifests_equivalent(tmp_path):
+    serial_campaign, serial_rec, _ = run_with_manifest(tmp_path, "serial", jobs=1)
+    parallel_campaign, parallel_rec, _ = run_with_manifest(tmp_path, "par", jobs=2)
+
+    _, serial_points = read_manifest(serial_rec.manifest_path)
+    _, parallel_points = read_manifest(parallel_rec.manifest_path)
+    # Identical modulo worker pids and timing: same points, same order,
+    # same hashes, same event counts, same values.
+    assert stable(serial_points) == stable(parallel_points)
+
+    # And telemetry never perturbs the campaign output itself.
+    as_dicts = lambda c: {e: [r.to_dict() for r in rs] for e, rs in c.items()}
+    assert as_dicts(serial_campaign) == as_dicts(parallel_campaign)
+
+
+def test_campaign_with_recorder_matches_plain_run(tmp_path):
+    plain = run_campaign(IDS, SCALE, jobs=1)
+    recorded, _, _ = run_with_manifest(tmp_path, "m", jobs=1)
+    as_dicts = lambda c: {e: [r.to_dict() for r in rs] for e, rs in c.items()}
+    assert as_dicts(plain) == as_dicts(recorded)
+
+
+def test_summary_totals_and_latency(tmp_path):
+    _, recorder, summary = run_with_manifest(tmp_path, "m", jobs=1)
+    assert summary["computed"] == summary["points"]
+    assert summary["stored"] == 0
+    assert summary["events"] > 0
+    assert summary["events_per_s"] > 0
+    assert "des" in summary["point_latency"]
+    latency = summary["point_latency"]["des"]
+    # fig8's decomposed points and fig6's whole-unit record all run on
+    # the des backend, so every record lands in the same histogram.
+    assert latency["count"] == summary["points"]
+    assert latency["p95_s"] >= latency["p50_s"] > 0
+    assert latency["buckets"]
+    # The summary file on disk is valid JSON and matches.
+    on_disk = json.loads(recorder.summary_path.read_text())
+    assert on_disk["points"] == summary["points"]
+    assert on_disk["schema"] == summary["schema"]
+
+
+def test_read_manifest_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        read_manifest(bad)
+
+    headerless = tmp_path / "headerless.jsonl"
+    headerless.write_text(
+        json.dumps(
+            {
+                "record": "point",
+                "exp_id": "x",
+                "key": [1],
+                "provenance": "computed",
+                "wall_s": 0.1,
+                "backend": "des",
+            }
+        )
+        + "\n"
+    )
+    with pytest.raises(ValueError, match="no campaign header"):
+        read_manifest(headerless)
+
+    incomplete = tmp_path / "incomplete.jsonl"
+    incomplete.write_text(
+        json.dumps({"record": "campaign", "schema": MANIFEST_SCHEMA})
+        + "\n"
+        + json.dumps({"record": "point", "exp_id": "x"})
+        + "\n"
+    )
+    with pytest.raises(ValueError, match="missing"):
+        read_manifest(incomplete)
+
+
+def test_evaluate_point_matches_run_point():
+    from repro.experiments.points import run_point
+
+    point = get_experiment("fig8").points(SCALE)[0]
+    value, record = evaluate_point(point)
+    assert repr(value) == repr(run_point(point))
+    assert record.exp_id == point.exp_id
+    assert list(point.key) == record.key
+    assert record.provenance == "computed"
+    assert record.events == int(dict(value.extras)["events"])
+
+
+def test_bench_show_renders_manifest(tmp_path, capsys):
+    _, recorder, _ = run_with_manifest(tmp_path, "m", jobs=1)
+    from repro.bench.__main__ import main
+
+    assert main(["show", str(recorder.manifest_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "fig6" in out
+    assert "slowest" in out

@@ -111,3 +111,68 @@ def test_readonly_cache_dir_does_not_fail_the_run(monkeypatch, tmp_path):
         assert len(trace) > 0
     finally:
         blocked.chmod(0o700)
+
+
+class TestStats:
+    """Hit/miss/eviction counters surfaced via stats()."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_counters(self):
+        trace_cache.reset_stats()
+        yield
+        trace_cache.reset_stats()
+
+    def test_cold_lookup_counts_miss_generate_store(self):
+        cached_generate(small_cfg())
+        s = trace_cache.stats()
+        assert s.disk_misses == 1
+        assert s.generated == 1
+        assert s.disk_stores == 1
+        assert s.memory_hits == 0
+
+    def test_memory_hit_counted(self):
+        cfg = small_cfg()
+        cached_generate(cfg)
+        cached_generate(cfg)
+        s = trace_cache.stats()
+        assert s.memory_hits == 1
+        assert s.generated == 1
+
+    def test_disk_hit_counted_after_memory_clear(self):
+        cfg = small_cfg()
+        cached_generate(cfg)
+        clear_memory_cache()
+        cached_generate(cfg)
+        s = trace_cache.stats()
+        assert s.disk_hits == 1
+        assert s.generated == 1  # no regeneration
+
+    def test_eviction_counted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_MEMCACHE", "1")
+        cached_generate(small_cfg(seed=1))
+        cached_generate(small_cfg(seed=2))
+        assert trace_cache.stats().memory_evictions == 1
+
+    def test_stats_snapshot_and_delta(self):
+        before = trace_cache.stats()
+        cached_generate(small_cfg())
+        after = trace_cache.stats()
+        assert before.generated == 0  # snapshot, not a live view
+        d = after.delta(before)
+        assert d.generated == 1 and d.disk_misses == 1
+
+    def test_derived_ratios_and_dict(self):
+        cfg = small_cfg()
+        cached_generate(cfg)
+        cached_generate(cfg)
+        s = trace_cache.stats()
+        assert s.lookups == 2
+        assert s.hit_ratio == pytest.approx(0.5)
+        d = s.as_dict()
+        assert d["memory_hits"] == 1 and d["generated"] == 1
+
+    def test_reset_stats_zeroes_everything(self):
+        cached_generate(small_cfg())
+        trace_cache.reset_stats()
+        s = trace_cache.stats()
+        assert s.lookups == 0 and s.generated == 0
