@@ -13,7 +13,7 @@ Run:  python examples/degraded_rebuild.py
 
 import numpy as np
 
-from repro.array.degraded import DegradedParityController, RebuildProcess
+from repro.failure import DegradedParityController, RebuildProcess
 from repro.channel import Channel
 from repro.des import Environment
 from repro.disk import Disk

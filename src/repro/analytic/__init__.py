@@ -9,12 +9,18 @@ bounded by the cross-validation tolerance bands in
 
 from repro.analytic.decompose import ArrayLoad, Branch, DiskClass, RequestClass, decompose
 from repro.analytic.service import DiskServiceModel, Moments
-from repro.analytic.solver import AnalyticSaturationError, AnalyticTally, solve_trace
+from repro.analytic.solver import (
+    AnalyticSaturationError,
+    AnalyticTally,
+    AnalyticUnsupportedError,
+    solve_trace,
+)
 from repro.analytic.validation import CAMPAIGN_TOLERANCE, TOLERANCE_BANDS, tolerance_for
 
 __all__ = [
     "AnalyticSaturationError",
     "AnalyticTally",
+    "AnalyticUnsupportedError",
     "ArrayLoad",
     "Branch",
     "CAMPAIGN_TOLERANCE",

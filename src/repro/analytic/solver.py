@@ -44,11 +44,28 @@ from repro.sim.config import SystemConfig
 from repro.sim.results import ArrayMetrics, RunResult
 from repro.trace.record import Trace
 
-__all__ = ["AnalyticSaturationError", "AnalyticTally", "solve_trace"]
+__all__ = [
+    "AnalyticSaturationError",
+    "AnalyticTally",
+    "AnalyticUnsupportedError",
+    "solve_trace",
+]
 
 
 class AnalyticSaturationError(ValueError):
     """A resource's offered load is at or above its capacity."""
+
+
+class AnalyticUnsupportedError(ValueError):
+    """The analytic model cannot represent the requested scenario.
+
+    Raised instead of silently solving a different (usually the healthy
+    steady-state) model — e.g. ``run_trace(backend="analytic",
+    failures=...)``: degraded mode, rebuild interference and scrubbing
+    are transient behaviours the M/G/1 steady-state solver has no
+    equations for.  The guidance in the message names the supported
+    alternative (the DES backend).
+    """
 
 
 class AnalyticTally(Tally):

@@ -1,38 +1,18 @@
-"""Degraded-mode operation and rebuild after a disk failure.
+"""Back-compat shim: degraded-mode operation moved to :mod:`repro.failure`.
 
-The paper's motivation is media recovery: redundant arrays survive a
-disk failure and keep serving requests, at a performance cost the paper
-mentions explicitly ("large arrays... have worse performance during
-reconstruction following a disk failure", §4.2.1).  This module
-implements that regime for the uncached organizations:
-
-* **Degraded reads** — a read addressed to the failed disk is serviced
-  by reading all the surviving blocks of its redundancy group (the
-  other N-1 data blocks plus parity for the parity organizations, the
-  mirror partner for mirrors) and XOR-reconstructing, so the response
-  is the max over N concurrent accesses.
-* **Degraded writes** — a write to a surviving disk updates parity
-  normally; a write to the failed disk updates *only* the parity (read
-  the other N-1 blocks, XOR with the new data, rewrite parity), so the
-  data is recoverable even though its disk is gone.
-* **Rebuild** — a background process sweeps the failed disk's blocks in
-  physical order, reconstructing each onto a hot spare at background
-  priority.  A watermark tracks progress: requests below it use the
-  spare normally, requests above it take the degraded paths.
+The degraded controllers and the rebuild process were promoted into the
+failure-domain subsystem (``src/repro/failure/``), where they gained
+runtime failure transitions, latent-error handling and scrub support.
+This module re-exports the original names so existing imports keep
+working; new code should import from :mod:`repro.failure` directly.
 """
 
-from __future__ import annotations
-
-from typing import Generator, Optional
-
-from repro.array.uncached import UncachedMirrorController, UncachedParityController
-from repro.des import AllOf, Environment, Event
-from repro.disk.drive import Disk
-from repro.disk.request import AccessKind, DiskRequest, Priority
-from repro.layout.common import Layout, PhysicalAddress, Run, WriteGroup, WriteMode
-from repro.layout.mirror import MirrorLayout
-from repro.layout.paritystripe import ParityStripingLayout
-from repro.layout.striped import StripedParityLayout
+from repro.failure.degraded import (
+    DegradedMirrorController,
+    DegradedParityController,
+    RebuildProcess,
+    reconstruction_sources,
+)
 
 __all__ = [
     "reconstruction_sources",
@@ -40,317 +20,3 @@ __all__ = [
     "DegradedMirrorController",
     "RebuildProcess",
 ]
-
-
-def reconstruction_sources(layout: Layout, disk: int, pblock: int) -> list[PhysicalAddress]:
-    """Surviving blocks whose XOR reconstructs ``(disk, pblock)``.
-
-    Works for both data and parity blocks of the parity layouts, and
-    for mirror layouts (the single partner copy).
-    """
-    if isinstance(layout, MirrorLayout):
-        return [PhysicalAddress(layout.mirror_of(disk), pblock)]
-
-    if isinstance(layout, StripedParityLayout):
-        # A row's data and parity all sit at the same physical block on
-        # each of the N+1 disks: the sources are simply every other disk.
-        return [
-            PhysicalAddress(d, pblock) for d in range(layout.ndisks) if d != disk
-        ]
-
-    if isinstance(layout, ParityStripingLayout):
-        area, off = divmod(pblock, layout.area_blocks)
-        k = layout._data_area(area)
-        parity_base = layout.parity_area_index * layout.area_blocks
-        if k is None:
-            # Parity block of group `disk`: XOR of all member data blocks.
-            return [
-                PhysicalAddress(d, layout._physical_area(kk) * layout.area_blocks + off)
-                for d, kk in layout.members_of_group(disk, off)
-            ]
-        group = layout.group_of(disk, k, off)
-        sources = [PhysicalAddress(group, parity_base + off)]
-        for d, kk in layout.members_of_group(group, off):
-            if d == disk:
-                continue
-            sources.append(
-                PhysicalAddress(d, layout._physical_area(kk) * layout.area_blocks + off)
-            )
-        return sources
-
-    raise TypeError(f"no redundancy to reconstruct from in {type(layout).__name__}")
-
-
-class _DegradedMixin:
-    """State shared by the degraded controllers."""
-
-    def _init_degraded(self, failed_disk: int, spare: bool) -> None:
-        if not 0 <= failed_disk < self.layout.ndisks:
-            raise ValueError(f"failed disk {failed_disk} out of range")
-        self.failed_disk = failed_disk
-        #: Physical blocks of the failed disk rebuilt so far (watermark);
-        #: the spare serves addresses below it.
-        self.rebuilt_upto = 0
-        self.has_spare = spare
-        if spare:
-            # The spare replaces the failed drive in the array: same
-            # geometry, fresh arm.
-            old = self.disks[failed_disk]
-            self.disks[failed_disk] = Disk(
-                old.env, old.geometry, old.seek_model, name=f"{old.name}.spare"
-            )
-        self.degraded_reads = 0
-        self.degraded_writes = 0
-
-    def _note_degraded(self, kind: str) -> None:
-        """Count a degraded access and notify the validation tap."""
-        if kind == "read":
-            self.degraded_reads += 1
-        else:
-            self.degraded_writes += 1
-        if self.probe is not None:
-            self.probe.on_degraded(self, kind)
-
-    def _is_failed(self, disk: int, pblock: int) -> bool:
-        """True if this physical block is currently unreadable."""
-        if disk != self.failed_disk:
-            return False
-        return not (self.has_spare and pblock < self.rebuilt_upto)
-
-
-class DegradedParityController(_DegradedMixin, UncachedParityController):
-    """An uncached parity array (RAID5/RAID4/Parity Striping) with one
-    failed disk, optionally rebuilding onto a hot spare."""
-
-    def __init__(self, env, layout, disks, channel, config, failed_disk: int, spare: bool = False):
-        super().__init__(env, layout, disks, channel, config)
-        self._init_degraded(failed_disk, spare)
-
-    # -- reads ---------------------------------------------------------------
-    def _read_run(self, run: Run) -> Generator[Event, None, None]:
-        # Split the run at the failure boundary block by block (runs are
-        # short; requests are overwhelmingly single-block).
-        degraded = [
-            pb for pb in range(run.start, run.end) if self._is_failed(run.disk, pb)
-        ]
-        if not degraded:
-            yield from super()._read_run(run)
-            return
-        self._note_degraded("read")
-        procs = []
-        healthy = [
-            pb for pb in range(run.start, run.end) if not self._is_failed(run.disk, pb)
-        ]
-        if healthy:
-            procs.append(
-                self.env.process(
-                    super()._read_run(Run(run.disk, healthy[0], len(healthy)))
-                )
-            )
-        for pb in degraded:
-            procs.append(self.env.process(self._reconstruct_read(run.disk, pb)))
-        yield AllOf(self.env, procs)
-
-    def _reconstruct_read(self, disk: int, pblock: int) -> Generator[Event, None, None]:
-        """Read all surviving sources, then ship the block to the host."""
-        sources = reconstruction_sources(self.layout, disk, pblock)
-        nbuf = len(sources)
-        yield from self.buffers.acquire(nbuf)
-        try:
-            reads = [
-                self.disks[src.disk].submit(DiskRequest(AccessKind.READ, src.block))
-                for src in sources
-            ]
-            yield AllOf(self.env, [r.done for r in reads])
-            yield from self._channel_transfer(1)
-        finally:
-            self.buffers.release(nbuf)
-
-    # -- writes ----------------------------------------------------------------
-    def _rmw(self, group: WriteGroup) -> Generator[Event, None, None]:
-        touches_failed = any(
-            self._is_failed(run.disk, pb)
-            for run in group.data_runs + group.parity_runs
-            for pb in range(run.start, run.end)
-        )
-        if not touches_failed:
-            yield from super()._rmw(group)
-            return
-        self._note_degraded("write")
-        yield from self._degraded_update(group)
-
-    def _degraded_update(self, group: WriteGroup) -> Generator[Event, None, None]:
-        """Update with a failed member in the redundancy group.
-
-        Failed data block  -> read the other N-1 data blocks, then
-        rewrite the parity with the reconstructed delta.
-        Failed parity block -> write the data plainly (no parity left
-        to maintain for that group).
-        """
-        env = self.env
-        done = []
-        claims = 0
-        reads: list[DiskRequest] = []
-        parity_writes: list[tuple[Run, Event]] = []
-
-        for run in group.data_runs:
-            for pb in range(run.start, run.end):
-                if self._is_failed(run.disk, pb):
-                    # Read every surviving source except the parity (the
-                    # parity is rewritten), then gate the parity write.
-                    sources = [
-                        src
-                        for src in reconstruction_sources(self.layout, run.disk, pb)
-                        if not self.layout.is_parity_block(src.disk, src.block)
-                    ]
-                    yield from self.buffers.acquire(len(sources))
-                    claims += len(sources)
-                    for src in sources:
-                        reads.append(
-                            self.disks[src.disk].submit(
-                                DiskRequest(AccessKind.READ, src.block)
-                            )
-                        )
-                else:
-                    yield from self.buffers.acquire(1)
-                    claims += 1
-                    req = self.disks[run.disk].submit(
-                        DiskRequest(AccessKind.RMW, pb, 1)
-                    )
-                    reads.append(req)
-                    done.append(req.done)
-
-        gate = AllOf(env, [r.read_complete for r in reads]) if reads else None
-        for run in group.parity_runs:
-            for pb in range(run.start, run.end):
-                if self._is_failed(run.disk, pb):
-                    continue  # parity disk itself failed: nothing to update
-                yield from self.buffers.acquire(1)
-                claims += 1
-                req = self.disks[run.disk].submit(
-                    DiskRequest(AccessKind.RMW, pb, 1, data_ready=gate)
-                )
-                done.append(req.done)
-
-        if done:
-            yield AllOf(env, done)
-        elif reads:
-            yield AllOf(env, [r.done for r in reads])
-        if claims:
-            self.buffers.release(claims)
-
-
-class DegradedMirrorController(_DegradedMixin, UncachedMirrorController):
-    """A mirrored array with one failed member."""
-
-    def __init__(self, env, layout, disks, channel, config, failed_disk: int, spare: bool = False):
-        super().__init__(env, layout, disks, channel, config)
-        self._init_degraded(failed_disk, spare)
-
-    def _pick_read_disk(self, run: Run) -> Disk:
-        if self._is_failed(run.disk, run.start):
-            self._note_degraded("read")
-            return self.disks[self.mlayout.mirror_of(run.disk)]
-        partner = self.mlayout.mirror_of(run.disk)
-        if self._is_failed(partner, run.start):
-            return self.disks[run.disk]
-        return super()._pick_read_disk(run)
-
-    def _execute_group(self, group: WriteGroup) -> Generator[Event, None, None]:
-        assert group.mode is WriteMode.PLAIN
-        done = []
-        for run in group.data_runs:
-            for disk_idx in (run.disk, self.mlayout.mirror_of(run.disk)):
-                if self._is_failed(disk_idx, run.start):
-                    self._note_degraded("write")
-                    continue
-                req = self.disks[disk_idx].submit(
-                    DiskRequest(AccessKind.WRITE, run.start, run.nblocks)
-                )
-                done.append(req.done)
-        yield AllOf(self.env, done)
-
-
-class RebuildProcess:
-    """Background reconstruction of the failed disk onto the spare.
-
-    Sweeps the failed disk's physical blocks in ``chunk_blocks`` units:
-    reads all surviving sources of the chunk at background priority,
-    writes the reconstructed chunk to the spare, advances the
-    controller's watermark.  ``delay_ms`` throttles between chunks to
-    bound the interference with foreground traffic.
-    """
-
-    def __init__(
-        self,
-        controller,
-        chunk_blocks: int = 6,
-        delay_ms: float = 0.0,
-        used_blocks: Optional[int] = None,
-    ) -> None:
-        if not controller.has_spare:
-            raise ValueError("rebuild requires a spare disk")
-        if chunk_blocks < 1:
-            raise ValueError("chunk_blocks must be >= 1")
-        self.controller = controller
-        self.chunk_blocks = chunk_blocks
-        self.delay_ms = delay_ms
-        self.total_blocks = (
-            used_blocks
-            if used_blocks is not None
-            else controller.layout.blocks_per_disk
-        )
-        self.started_at: Optional[float] = None
-        self.finished_at: Optional[float] = None
-        self.process = controller.env.process(self._run())
-
-    @property
-    def duration_ms(self) -> Optional[float]:
-        if self.started_at is None or self.finished_at is None:
-            return None
-        return self.finished_at - self.started_at
-
-    @property
-    def done(self) -> bool:
-        return self.finished_at is not None
-
-    def _run(self) -> Generator[Event, None, None]:
-        ctrl = self.controller
-        env = ctrl.env
-        layout = ctrl.layout
-        failed = ctrl.failed_disk
-        spare = ctrl.disks[failed]
-        self.started_at = env.now
-
-        pblock = 0
-        while pblock < self.total_blocks:
-            chunk = min(self.chunk_blocks, self.total_blocks - pblock)
-            # Gather the union of surviving source runs for the chunk.
-            per_disk: dict[int, list[int]] = {}
-            for pb in range(pblock, pblock + chunk):
-                for src in reconstruction_sources(layout, failed, pb):
-                    per_disk.setdefault(src.disk, []).append(src.block)
-            reads = []
-            for disk_idx, blocks in per_disk.items():
-                blocks.sort()
-                start = blocks[0]
-                reads.append(
-                    ctrl.disks[disk_idx].submit(
-                        DiskRequest(
-                            AccessKind.READ,
-                            start,
-                            blocks[-1] - start + 1,
-                            priority=Priority.DESTAGE,
-                        )
-                    )
-                )
-            yield AllOf(env, [r.done for r in reads])
-            write = spare.submit(
-                DiskRequest(AccessKind.WRITE, pblock, chunk, priority=Priority.DESTAGE)
-            )
-            yield write.done
-            pblock += chunk
-            ctrl.rebuilt_upto = pblock
-            if self.delay_ms > 0:
-                yield env.timeout(self.delay_ms)
-        self.finished_at = env.now

@@ -136,13 +136,28 @@ def make_config(org: str, trace: Trace, **overrides) -> SystemConfig:
     )
 
 
-def response_time(org: str, trace: Trace, backend: str = "des", **overrides) -> RunResult:
-    """Run one (organization, trace) point on the chosen backend."""
+def response_time(
+    org: str,
+    trace: Trace,
+    backend: str = "des",
+    failures=None,
+    keep_samples: bool = False,
+    **overrides,
+) -> RunResult:
+    """Run one (organization, trace) point on the chosen backend.
+
+    ``failures`` (a :class:`~repro.failure.FailureSchedule`) and
+    ``keep_samples`` route to :func:`~repro.sim.run_trace`; everything
+    else overrides :class:`~repro.sim.SystemConfig` fields.  Failure
+    drivers set ``keep_samples=True`` because their headline metric is
+    the p95 during the scenario, which needs the sample store.
+    """
     return run_trace(
         make_config(org, trace, **overrides),
         trace,
-        keep_samples=False,
+        keep_samples=keep_samples,
         backend=backend,
+        failures=failures,
     )
 
 

@@ -17,7 +17,7 @@ These exercise the features the paper mentions but does not evaluate:
 
 from __future__ import annotations
 
-from repro.array.degraded import DegradedParityController, RebuildProcess
+from repro.failure import DegradedParityController, RebuildProcess
 from repro.channel import Channel
 from repro.des import Environment
 from repro.disk.drive import Disk

@@ -138,10 +138,32 @@ def run_point(point: Point) -> PointValue:
         from repro.experiments.common import response_time
 
         res = response_time(point.org, trace, **point.kwargs)
+        extras = [("events", float(res.events))]
+        if res.failures is not None:
+            # Failure-scenario points carry the scenario outcome in the
+            # extras channel so assemble() can build tradeoff curves
+            # without re-running anything.  Healthy points are untouched
+            # (byte-identical extras).
+            f = res.failures
+            try:
+                p95 = res.p95_response_ms
+            except ValueError:  # samples not kept for this point
+                p95 = float("nan")
+            extras += [
+                ("p95_ms", float(p95)),
+                ("rebuild_ms", float(f.rebuild_duration_ms)),
+                ("degraded_reads", float(f.degraded_reads)),
+                ("degraded_writes", float(f.degraded_writes)),
+                ("latent_injected", float(f.latent_injected)),
+                ("latent_repaired", float(f.latent_repaired)),
+                ("latent_outstanding", float(f.latent_outstanding)),
+                ("exposure_mean_ms", float(f.exposure_mean_ms)),
+                ("lost_requests", float(f.lost_reads + f.lost_writes)),
+            ]
         return PointValue(
             mean_response_ms=res.mean_response_ms,
             physical_disks=len(res.per_disk_accesses),
-            extras=(("events", float(res.events)),),
+            extras=tuple(extras),
         )
     if point.kind == "hitratio":
         from repro.cache import simulate_hit_ratios

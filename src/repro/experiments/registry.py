@@ -36,6 +36,7 @@ from repro.experiments import fig14_cached_striping
 from repro.experiments import fig15_16_parity_cache
 from repro.experiments import fig17_19_parity_cache_params
 from repro.experiments import extensions
+from repro.experiments import ext_failure
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
@@ -118,6 +119,10 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("ext-scheduler", "FCFS vs SSTF disk scheduling", extensions.run_scheduler, cost=2,
                    points=extensions.points_scheduler, assemble=extensions.assemble_scheduler),
         Experiment("ext-reliability", "MTTDL / storage overhead", extensions.run_reliability, cost=1),
+        Experiment("ext-rebuild-rate", "Rebuild rate vs foreground p95", ext_failure.run_rebuild_rate, cost=3,
+                   points=ext_failure.points_rebuild_rate, assemble=ext_failure.assemble_rebuild_rate),
+        Experiment("ext-scrub", "Scrub interval vs latent-error exposure", ext_failure.run_scrub, cost=2,
+                   points=ext_failure.points_scrub, assemble=ext_failure.assemble_scrub),
     ]
 }
 

@@ -1,0 +1,57 @@
+"""Failure-domain scenario subsystem.
+
+Deterministic fault injection for the reproduction: declarative
+:class:`FailureSchedule` timelines (disk failures, spare arrivals,
+latent sector errors, periodic scrubbing) driven into the DES by a
+:class:`FailureInjector`, failure-capable controllers that degrade
+gracefully instead of crashing, background :class:`RebuildProcess` /
+:class:`ScrubProcess` activity competing with foreground traffic, and a
+per-run :class:`FailureReport` summarizing the outcome.
+
+Entry point: ``run_trace(config, workload, failures=FailureSchedule(...))``
+— see :mod:`repro.sim.runner`.  The experiment drivers ``ext-rebuild-rate``
+and ``ext-scrub`` sweep the two scenario knobs (rebuild rate, scrub
+interval) as registered campaigns.
+"""
+
+from repro.failure.degraded import (
+    DegradedMirrorController,
+    DegradedParityController,
+    FailureAwareBaseController,
+    RebuildProcess,
+    failure_controller_factory,
+    reconstruction_sources,
+)
+from repro.failure.errors import DataLossError, FailureScheduleError
+from repro.failure.injector import FailureInjector
+from repro.failure.report import FailureReport, RebuildStats, ScrubStats, build_report
+from repro.failure.schedule import (
+    DiskFailure,
+    FailureSchedule,
+    LatentError,
+    ScrubPolicy,
+    SpareArrival,
+)
+from repro.failure.scrub import ScrubProcess
+
+__all__ = [
+    "DataLossError",
+    "DegradedMirrorController",
+    "DegradedParityController",
+    "DiskFailure",
+    "FailureAwareBaseController",
+    "FailureInjector",
+    "FailureReport",
+    "FailureSchedule",
+    "FailureScheduleError",
+    "LatentError",
+    "RebuildProcess",
+    "RebuildStats",
+    "ScrubPolicy",
+    "ScrubProcess",
+    "ScrubStats",
+    "SpareArrival",
+    "build_report",
+    "failure_controller_factory",
+    "reconstruction_sources",
+]

@@ -1,0 +1,61 @@
+"""Typed errors of the failure-injection subsystem.
+
+Two distinct failure modes deserve distinct types:
+
+* :class:`FailureScheduleError` — the *scenario* is malformed (an event
+  targets a disk the array does not have, a spare arrives with nothing
+  to replace, two concurrent failures on one array).  Raised before or
+  during injection; always a caller mistake.
+* :class:`DataLossError` — the *simulated system* lost data: a request
+  addressed blocks that no surviving copy or parity group can
+  reconstruct.  The run itself completes gracefully (lost accesses are
+  counted, not raised mid-simulation, so a campaign point still yields
+  a result); callers that want hard failure semantics call
+  :meth:`~repro.failure.report.FailureReport.raise_for_loss`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["FailureScheduleError", "DataLossError"]
+
+
+class FailureScheduleError(ValueError):
+    """A failure schedule is inconsistent with itself or the system."""
+
+
+class DataLossError(RuntimeError):
+    """The scenario destroyed data that requests then tried to access.
+
+    Attributes
+    ----------
+    lost_reads, lost_writes:
+        Foreground accesses that addressed unreconstructable blocks.
+    lost_blocks:
+        Physical blocks the rebuild could not reconstruct.
+    samples:
+        Up to a few ``(time_ms, kind, disk, pblock)`` records of the
+        first lost accesses, for debugging.
+    """
+
+    def __init__(
+        self,
+        lost_reads: int,
+        lost_writes: int,
+        lost_blocks: int,
+        samples: Sequence[Tuple[float, str, int, int]] = (),
+    ) -> None:
+        self.lost_reads = lost_reads
+        self.lost_writes = lost_writes
+        self.lost_blocks = lost_blocks
+        self.samples = tuple(samples)
+        detail = "; ".join(
+            f"t={t:g} {kind} disk {disk} pblock {pb}"
+            for t, kind, disk, pb in self.samples[:5]
+        )
+        super().__init__(
+            f"{lost_reads} read(s) and {lost_writes} write(s) hit lost data, "
+            f"{lost_blocks} block(s) unreconstructable"
+            + (f" (first: {detail})" if detail else "")
+        )

@@ -1,0 +1,230 @@
+"""Declarative fault-injection schedules.
+
+A :class:`FailureSchedule` is a frozen, picklable value object: a tuple
+of timed events (disk failure, spare arrival, latent sector errors)
+plus an optional periodic :class:`ScrubPolicy`.  Being a plain frozen
+dataclass buys three properties the campaign engine depends on:
+
+* **hashable / picklable** — a schedule rides inside a
+  :class:`~repro.experiments.points.Point` override, crosses process
+  boundaries to the parallel workers, and keys result-store entries;
+* **deterministic repr** — the content hash of a point includes
+  ``repr(schedule)``, so a degraded point can never alias a healthy
+  point's memoized value (and two different schedules never alias each
+  other);
+* **statically validatable** — everything that can be checked without a
+  built system is checked in ``__post_init__``; system-dependent checks
+  (disk indexes vs the layout) happen in
+  :class:`~repro.failure.injector.FailureInjector`.
+
+Times are simulation milliseconds, disks are physical indexes within
+one array, ``array`` selects the array when the system has several.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.failure.errors import FailureScheduleError
+
+__all__ = [
+    "DiskFailure",
+    "SpareArrival",
+    "LatentError",
+    "ScrubPolicy",
+    "FailureSchedule",
+]
+
+
+def _check_time(at_ms: float, what: str) -> None:
+    if not (isinstance(at_ms, (int, float)) and at_ms >= 0.0 and at_ms == at_ms):
+        raise FailureScheduleError(f"{what}: at_ms must be a finite time >= 0, got {at_ms!r}")
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """Disk ``disk`` of array ``array`` dies at ``at_ms``.
+
+    In-flight accesses on the drive complete (the model does not tear
+    down a seek mid-flight); every access *planned* after the event
+    takes the degraded paths.
+    """
+
+    at_ms: float
+    disk: int
+    array: int = 0
+
+    def __post_init__(self) -> None:
+        _check_time(self.at_ms, "DiskFailure")
+        if self.disk < 0 or self.array < 0:
+            raise FailureScheduleError("DiskFailure: disk and array must be >= 0")
+
+
+@dataclass(frozen=True)
+class SpareArrival:
+    """A hot spare replaces the failed disk of ``array`` at ``at_ms``
+    and a background rebuild starts onto it.
+
+    ``rebuild_delay_ms`` throttles between rebuild chunks (the
+    rebuild-rate knob: 0 = rebuild at full speed, large = gentle);
+    ``rebuild_blocks`` caps the swept range (rebuild only the active
+    slice of a mostly-empty disk), ``None`` sweeps the whole disk.
+    """
+
+    at_ms: float
+    array: int = 0
+    rebuild_chunk_blocks: int = 6
+    rebuild_delay_ms: float = 0.0
+    rebuild_blocks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_time(self.at_ms, "SpareArrival")
+        if self.array < 0:
+            raise FailureScheduleError("SpareArrival: array must be >= 0")
+        if self.rebuild_chunk_blocks < 1:
+            raise FailureScheduleError("SpareArrival: rebuild_chunk_blocks must be >= 1")
+        if self.rebuild_delay_ms < 0:
+            raise FailureScheduleError("SpareArrival: rebuild_delay_ms must be >= 0")
+        if self.rebuild_blocks is not None and self.rebuild_blocks < 1:
+            raise FailureScheduleError("SpareArrival: rebuild_blocks must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class LatentError:
+    """Physical block ``pblock`` of ``disk`` becomes unreadable at
+    ``at_ms`` — a latent sector error: undetected until something (a
+    foreground read, the rebuild, a scrub pass) next touches the block.
+
+    A write to the block rewrites the medium and clears the error.
+    """
+
+    at_ms: float
+    disk: int
+    pblock: int
+    array: int = 0
+
+    def __post_init__(self) -> None:
+        _check_time(self.at_ms, "LatentError")
+        if self.disk < 0 or self.pblock < 0 or self.array < 0:
+            raise FailureScheduleError("LatentError: disk, pblock and array must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScrubPolicy:
+    """Periodic verify sweep over every array.
+
+    Each pass reads ``max_blocks`` (or the whole disk) of every live
+    disk in ``chunk_blocks`` units at background priority, detects
+    latent errors and repairs them from redundancy where the group is
+    intact.  The first pass starts at ``start_ms``; subsequent passes
+    ``period_ms`` after the previous one finishes.  ``min_passes`` makes
+    :func:`~repro.sim.runner.run_trace` keep the clock running after the
+    foreground trace drains until that many passes completed — without
+    it a short trace can end before the scrubber ever sweeps.
+    """
+
+    period_ms: float
+    chunk_blocks: int = 48
+    start_ms: float = 0.0
+    max_blocks: Optional[int] = None
+    min_passes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.period_ms > 0:
+            raise FailureScheduleError("ScrubPolicy: period_ms must be > 0")
+        if self.chunk_blocks < 1:
+            raise FailureScheduleError("ScrubPolicy: chunk_blocks must be >= 1")
+        _check_time(self.start_ms, "ScrubPolicy")
+        if self.max_blocks is not None and self.max_blocks < 1:
+            raise FailureScheduleError("ScrubPolicy: max_blocks must be >= 1 or None")
+        if self.min_passes < 0:
+            raise FailureScheduleError("ScrubPolicy: min_passes must be >= 0")
+
+
+FailureEvent = Union[DiskFailure, SpareArrival, LatentError]
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """The complete fault timeline of one run."""
+
+    events: Tuple[FailureEvent, ...] = ()
+    scrub: Optional[ScrubPolicy] = None
+
+    def __post_init__(self) -> None:
+        # Tolerate a list literal; store the canonical tuple.
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        failures_per_array: dict[int, DiskFailure] = {}
+        latent_seen: set[tuple[int, int, int]] = set()
+        for ev in self.events:
+            if not isinstance(ev, (DiskFailure, SpareArrival, LatentError)):
+                raise FailureScheduleError(f"not a failure event: {ev!r}")
+            if isinstance(ev, DiskFailure):
+                if ev.array in failures_per_array:
+                    raise FailureScheduleError(
+                        f"array {ev.array}: at most one DiskFailure per array "
+                        f"is supported (single-failure fault model)"
+                    )
+                failures_per_array[ev.array] = ev
+            elif isinstance(ev, LatentError):
+                key = (ev.array, ev.disk, ev.pblock)
+                if key in latent_seen:
+                    raise FailureScheduleError(
+                        f"duplicate LatentError for array {ev.array} "
+                        f"disk {ev.disk} pblock {ev.pblock}"
+                    )
+                latent_seen.add(key)
+        for ev in self.events:
+            if isinstance(ev, SpareArrival):
+                failure = failures_per_array.get(ev.array)
+                if failure is None:
+                    raise FailureScheduleError(
+                        f"SpareArrival for array {ev.array} without a DiskFailure"
+                    )
+                if ev.at_ms < failure.at_ms:
+                    raise FailureScheduleError(
+                        f"array {ev.array}: spare arrives at {ev.at_ms:g} ms, "
+                        f"before the failure at {failure.at_ms:g} ms"
+                    )
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule injects nothing at all."""
+        return not self.events and self.scrub is None
+
+    def ordered_events(self) -> Tuple[FailureEvent, ...]:
+        """Events in injection order: by time, schedule position breaking ties."""
+        return tuple(
+            ev for _, _, ev in sorted(
+                (ev.at_ms, i, ev) for i, ev in enumerate(self.events)
+            )
+        )
+
+    # -- convenience constructors -------------------------------------------
+    @classmethod
+    def single_failure(
+        cls,
+        at_ms: float = 0.0,
+        disk: int = 0,
+        array: int = 0,
+        spare_after_ms: Optional[float] = None,
+        rebuild_chunk_blocks: int = 6,
+        rebuild_delay_ms: float = 0.0,
+        rebuild_blocks: Optional[int] = None,
+        scrub: Optional[ScrubPolicy] = None,
+    ) -> "FailureSchedule":
+        """One disk failure, optionally followed by a spare + rebuild."""
+        events: list[FailureEvent] = [DiskFailure(at_ms=at_ms, disk=disk, array=array)]
+        if spare_after_ms is not None:
+            events.append(
+                SpareArrival(
+                    at_ms=at_ms + spare_after_ms,
+                    array=array,
+                    rebuild_chunk_blocks=rebuild_chunk_blocks,
+                    rebuild_delay_ms=rebuild_delay_ms,
+                    rebuild_blocks=rebuild_blocks,
+                )
+            )
+        return cls(events=tuple(events), scrub=scrub)

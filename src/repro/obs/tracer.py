@@ -90,6 +90,14 @@ class ProbeFanout:
         for p in self.probes:
             p.on_degraded(controller, kind)
 
+    def on_data_loss(self, controller, kind, disk, pblock) -> None:
+        for p in self.probes:
+            p.on_data_loss(controller, kind, disk, pblock)
+
+    def on_latent_repair(self, controller, disk, pblock, how) -> None:
+        for p in self.probes:
+            p.on_latent_repair(controller, disk, pblock, how)
+
     def on_mirror_route(self, controller, run, chosen, alternate, seek_chosen, seek_alt) -> None:
         for p in self.probes:
             p.on_mirror_route(controller, run, chosen, alternate, seek_chosen, seek_alt)
@@ -386,6 +394,21 @@ class Tracer:
             parent=self._root_sid(rid),
             attrs={"array": self._ctrl_label.get(id(controller), "?"), "kind": kind},
         )
+
+    def on_data_loss(self, controller, kind: str, disk: int, pblock: int) -> None:
+        rid = self._rid()
+        now = self.env.now
+        self._new(
+            "mark", "data_loss", t0=now, t1=now, rid=rid,
+            parent=self._root_sid(rid),
+            attrs={
+                "array": self._ctrl_label.get(id(controller), "?"),
+                "kind": kind, "disk": disk, "pblock": pblock,
+            },
+        )
+
+    def on_latent_repair(self, controller, disk: int, pblock: int, how: str) -> None:
+        pass
 
     def on_mirror_route(
         self, controller, run, chosen, alternate, seek_chosen, seek_alt

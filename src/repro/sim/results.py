@@ -17,6 +17,7 @@ import numpy as np
 from repro.des import Tally
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.failure.report import FailureReport
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.span import TraceData
 
@@ -63,6 +64,13 @@ class RunResult:
     trace: Optional["TraceData"] = field(default=None, repr=False, compare=False)
     #: Metrics registry from ``run_trace(..., metrics=True)``.
     metrics: Optional["MetricsRegistry"] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Failure-scenario outcome from ``run_trace(..., failures=...)``;
+    #: ``None`` for healthy runs.  Excluded from equality like the other
+    #: instrumentation fields (the response statistics already reflect
+    #: the scenario's performance impact).
+    failures: Optional["FailureReport"] = field(
         default=None, repr=False, compare=False
     )
 

@@ -40,6 +40,7 @@ def run_trace(
     metrics: Union[bool, "object"] = False,
     metrics_interval_ms: Optional[float] = None,
     backend: str = "des",
+    failures=None,
 ) -> RunResult:
     """Simulate *workload* on a system built from *config*.
 
@@ -78,6 +79,17 @@ def run_trace(
     metrics_interval_ms:
         Sampling period for the utilization/queue-depth timelines.
         Defaults to 1/200th of the trace duration (at least 1 ms).
+    failures:
+        A :class:`~repro.failure.FailureSchedule` of timed fault events
+        (disk failure, spare arrival + rebuild, latent sector errors,
+        periodic scrubbing) injected into the run.  The system is built
+        with failure-capable controllers, the scenario is driven by a
+        :class:`~repro.failure.FailureInjector`, and the outcome lands
+        on ``result.failures`` as a
+        :class:`~repro.failure.FailureReport`.  After the foreground
+        trace drains, the clock keeps running until the scenario
+        completes (pending events, started rebuilds, ``min_passes``
+        scrub passes).  DES backend, uncached organizations only.
 
     Returns
     -------
@@ -86,6 +98,15 @@ def run_trace(
     if backend not in ("des", "analytic"):
         raise ValueError(f"unknown backend {backend!r}; expected 'des' or 'analytic'")
     if backend == "analytic":
+        if failures is not None:
+            from repro.analytic import AnalyticUnsupportedError
+
+            raise AnalyticUnsupportedError(
+                "the analytic backend solves the healthy steady state only; "
+                "failure schedules (degraded mode, rebuild, scrubbing) are "
+                "transient behaviours it cannot represent — run the scenario "
+                "with backend='des' instead"
+            )
         if validate or checkers is not None:
             raise ValueError("the analytic backend has no events to validate")
         if (trace is not False and trace is not None) or (
@@ -104,10 +125,24 @@ def run_trace(
         raise ValueError("warmup_fraction must be in [0, 1)")
     if checkers is not None and not validate:
         raise ValueError("checkers were supplied but validate is False")
+    controller_factory = None
+    if failures is not None:
+        from repro.failure import FailureSchedule, failure_controller_factory
+
+        if not isinstance(failures, FailureSchedule):
+            raise TypeError(
+                f"failures must be a FailureSchedule, got {type(failures).__name__}"
+            )
+        if config.cached:
+            raise ValueError(
+                "failure schedules support the uncached organizations only; "
+                "run with cached=False"
+            )
+        controller_factory = failure_controller_factory
     narrays = config.arrays_for(workload.ndisks)
 
     env = Environment()
-    system = build_system(env, config, narrays)
+    system = build_system(env, config, narrays, controller_factory=controller_factory)
     warmup_ms = workload.duration_ms * warmup_fraction
 
     monitor = None
@@ -151,6 +186,16 @@ def run_trace(
     for tally in (result.response, result.read_response, result.write_response):
         tally._samples = [] if keep_samples else None
 
+    # The injector is created *before* the source process so that fault
+    # events scheduled for the same instant as a request arrival apply
+    # first (lower sequence number) — a t=0 failure is visible to the
+    # very first request, deterministically.
+    injector = None
+    if failures is not None and not failures.empty:
+        from repro.failure import FailureInjector
+
+        injector = FailureInjector(env, system, failures)
+
     # The background destage/spooler processes never terminate, so the
     # run ends when the last request completes, not when the event queue
     # drains.
@@ -161,8 +206,20 @@ def run_trace(
     )
     if len(workload):
         env.run(until=progress.all_done)
+    if injector is not None:
+        # Keep the clock running until the scenario itself completes:
+        # unapplied events, started rebuilds, owed scrub passes.
+        injector.drain()
     result.simulated_ms = env.now
     result.events = env._seq
+    if failures is not None:
+        from repro.failure import build_report
+
+        result.failures = build_report(
+            system.controllers,
+            rebuilds=injector.rebuilds if injector is not None else (),
+            scrubs=injector.scrubs if injector is not None else (),
+        )
 
     for controller in system.controllers:
         array_metrics = ArrayMetrics(

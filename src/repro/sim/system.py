@@ -51,8 +51,20 @@ class ArraySystem:
         return idx, self.controllers[idx], lblock - idx * per_array
 
 
-def build_system(env: Environment, config: SystemConfig, narrays: int) -> ArraySystem:
-    """Instantiate *narrays* arrays of the configured organization."""
+def build_system(
+    env: Environment,
+    config: SystemConfig,
+    narrays: int,
+    controller_factory=None,
+) -> ArraySystem:
+    """Instantiate *narrays* arrays of the configured organization.
+
+    ``controller_factory(env, layout, disks, channel, config)`` replaces
+    the default controller selection when given — the failure subsystem
+    uses it to substitute the failure-capable controllers
+    (:func:`repro.failure.failure_controller_factory`) without the
+    healthy path paying anything for the capability.
+    """
     if narrays < 1:
         raise ValueError("need at least one array")
     geometry = config.disk.geometry(config.block_bytes)
@@ -81,7 +93,8 @@ def build_system(env: Environment, config: SystemConfig, narrays: int) -> ArrayS
             for di in range(layout.ndisks)
         ]
         channel = Channel(env, config.channel_mb_per_s, name=f"a{ai}.chan")
-        controllers.append(_make_controller(env, layout, disks, channel, config))
+        make = controller_factory if controller_factory is not None else _make_controller
+        controllers.append(make(env, layout, disks, channel, config))
     return ArraySystem(env=env, config=config, controllers=controllers)
 
 

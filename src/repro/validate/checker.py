@@ -121,6 +121,16 @@ class InvariantChecker:
     def on_degraded(self, ctx: CheckContext, controller: "ArrayController", kind: str) -> None:
         pass
 
+    def on_data_loss(
+        self, ctx: CheckContext, controller: "ArrayController", kind: str, disk: int, pblock: int
+    ) -> None:
+        pass
+
+    def on_latent_repair(
+        self, ctx: CheckContext, controller: "ArrayController", disk: int, pblock: int, how: str
+    ) -> None:
+        pass
+
     def on_request_released(self, ctx: CheckContext, rid: int, time: float) -> None:
         pass
 

@@ -64,7 +64,7 @@ def snapshot(result, include_samples: bool = False) -> dict:
     recorded verbatim — useful for bit-exact replay fingerprints, too
     bulky for committed golden files.
     """
-    return {
+    out = {
         "meta": {
             "name": result.name,
             "organization": result.organization,
@@ -92,6 +92,14 @@ def snapshot(result, include_samples: bool = False) -> dict:
             for a in result.arrays
         ],
     }
+    # Failure-scenario outcome, only for failure-injected runs: the
+    # section is added conditionally so every pre-existing fixture (and
+    # every healthy run's fingerprint) is untouched by the subsystem's
+    # existence.
+    report = getattr(result, "failures", None)
+    if report is not None:
+        out["failures"] = report.to_dict()
+    return out
 
 
 def _walk(expected, actual, path, rtol, atol, diffs) -> None:

@@ -158,6 +158,16 @@ class ValidationMonitor:
         for checker in self.checkers:
             checker.on_degraded(ctx, controller, kind)
 
+    def on_data_loss(self, controller, kind: str, disk: int, pblock: int) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_data_loss(ctx, controller, kind, disk, pblock)
+
+    def on_latent_repair(self, controller, disk: int, pblock: int, how: str) -> None:
+        ctx = self.ctx
+        for checker in self.checkers:
+            checker.on_latent_repair(ctx, controller, disk, pblock, how)
+
     # -- tracing-only taps (consumed by repro.obs; validation ignores them) ---
     def on_disk_phase(self, disk, request, phase: str, t0: float, t1: float) -> None:
         pass

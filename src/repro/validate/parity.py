@@ -20,8 +20,15 @@ actually issues:
   layout cannot classify.
 
 Degraded arrays are exempted exactly where redundancy is genuinely
-gone: data blocks on the failed disk and parity groups whose parity
-lives on the failed disk.
+gone — and no wider.  The exemption is *per block*, through the
+controller's own spare/watermark-aware ``_is_failed``: once a rebuild
+has reconstructed a block onto the spare (below the watermark), that
+block is live again and its parity contract is enforced like any other;
+only blocks still above the watermark (or on a spare-less failed disk)
+are exempt.  The stream-level finalize audit skips arrays that were
+degraded at any point of the run (``ever_failed``): a RAID4 array whose
+parity disk spent the run failed may legitimately complete data writes
+with no parity traffic at all.
 """
 
 from __future__ import annotations
@@ -50,19 +57,32 @@ class ParityConsistencyChecker(InvariantChecker):
     def _failed_disk(controller) -> int | None:
         return getattr(controller, "failed_disk", None)
 
+    @staticmethod
+    def _gone(controller, disk: int, pblock: int) -> bool:
+        """Is this physical block genuinely without a live drive?
+
+        Delegates to the degraded controller's spare/watermark-aware
+        ``_is_failed`` so a rebuild-in-progress group is exempted only
+        above the watermark: reconstructed blocks on the spare are held
+        to the full parity contract again.
+        """
+        is_failed = getattr(controller, "_is_failed", None)
+        if is_failed is None:
+            return False
+        return bool(is_failed(disk, pblock))
+
     # -- plan-level checks ---------------------------------------------------
     def on_write_group(self, ctx: CheckContext, controller, group) -> None:
         layout = controller.layout
         if not layout.has_parity:
             return
-        failed = self._failed_disk(controller)
         provided = {
             (run.disk, pb)
             for run in group.parity_runs
             for pb in range(run.start, run.end)
         }
-        for addr, lblock in self._required_parity(layout, group.data_runs, failed):
-            if addr.disk == failed:
+        for addr, lblock in self._required_parity(layout, group.data_runs, controller):
+            if self._gone(controller, addr.disk, addr.block):
                 continue
             if (addr.disk, addr.block) not in provided:
                 self.fail(
@@ -93,14 +113,14 @@ class ParityConsistencyChecker(InvariantChecker):
                 )
         self._groups_checked += 1
 
-    @staticmethod
-    def _required_parity(layout, data_runs, failed):
-        """``(parity_address, lblock)`` for each data block of the runs."""
+    @classmethod
+    def _required_parity(cls, layout, data_runs, controller):
+        """``(parity_address, lblock)`` for each live data block of the runs."""
         out = []
         for run in data_runs:
-            if run.disk == failed:
-                continue
             for pb in range(run.start, run.end):
+                if cls._gone(controller, run.disk, pb):
+                    continue
                 lblock = layout.logical_of(run.disk, pb)
                 if lblock is None:
                     continue
@@ -128,9 +148,11 @@ class ParityConsistencyChecker(InvariantChecker):
             return
         ai, di, ctrl = info
         layout = ctrl.layout
-        if not layout.has_parity or di == self._failed_disk(ctrl):
+        if not layout.has_parity:
             return
         for pb in range(request.start_block, request.end_block):
+            if self._gone(ctrl, di, pb):
+                continue
             if layout.logical_of(di, pb) is not None:
                 self._data_writes[ai] = self._data_writes.get(ai, 0) + 1
 
@@ -138,8 +160,8 @@ class ParityConsistencyChecker(InvariantChecker):
         for ai, ctrl in enumerate(ctx.controllers):
             if not ctrl.layout.has_parity:
                 continue
-            if self._failed_disk(ctrl) is not None:
-                continue  # degraded arrays may legitimately skip parity
+            if self._failed_disk(ctrl) is not None or getattr(ctrl, "ever_failed", False):
+                continue  # arrays degraded during the run may legitimately skip parity
             data = self._data_writes.get(ai, 0)
             parity = self._parity_writes.get(ai, 0)
             buffered = self._deltas_buffered.get(ai, 0)

@@ -26,6 +26,8 @@ class TestRegistry:
             "ext-spindle",
             "ext-scheduler",
             "ext-reliability",
+            "ext-rebuild-rate",
+            "ext-scrub",
         }
         assert set(EXPERIMENTS) == expected | extensions
 

@@ -1,0 +1,155 @@
+"""FailureSchedule value-object semantics: validation, ordering,
+determinism (repr / hash / pickle) — the properties the campaign
+engine's content-keyed stores depend on."""
+
+import pickle
+
+import pytest
+
+from repro.failure import (
+    DiskFailure,
+    FailureSchedule,
+    FailureScheduleError,
+    LatentError,
+    ScrubPolicy,
+    SpareArrival,
+)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(FailureScheduleError, match="at_ms"):
+            DiskFailure(at_ms=-1.0, disk=0)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(FailureScheduleError, match="at_ms"):
+            LatentError(at_ms=float("nan"), disk=1, pblock=0)
+
+    def test_negative_disk_rejected(self):
+        with pytest.raises(FailureScheduleError):
+            DiskFailure(at_ms=0.0, disk=-1)
+
+    def test_bad_rebuild_chunk_rejected(self):
+        with pytest.raises(FailureScheduleError, match="chunk"):
+            SpareArrival(at_ms=0.0, rebuild_chunk_blocks=0)
+
+    def test_negative_rebuild_delay_rejected(self):
+        with pytest.raises(FailureScheduleError, match="delay"):
+            SpareArrival(at_ms=0.0, rebuild_delay_ms=-0.5)
+
+    def test_scrub_period_must_be_positive(self):
+        with pytest.raises(FailureScheduleError, match="period"):
+            ScrubPolicy(period_ms=0.0)
+
+    def test_scrub_min_passes_nonnegative(self):
+        with pytest.raises(FailureScheduleError, match="min_passes"):
+            ScrubPolicy(period_ms=10.0, min_passes=-1)
+
+
+class TestScheduleValidation:
+    def test_two_failures_same_array_rejected(self):
+        with pytest.raises(FailureScheduleError, match="one DiskFailure"):
+            FailureSchedule(
+                events=(DiskFailure(0.0, disk=0), DiskFailure(5.0, disk=1))
+            )
+
+    def test_one_failure_per_array_is_fine(self):
+        s = FailureSchedule(
+            events=(DiskFailure(0.0, disk=0, array=0), DiskFailure(0.0, disk=0, array=1))
+        )
+        assert len(s.events) == 2
+
+    def test_duplicate_latent_rejected(self):
+        with pytest.raises(FailureScheduleError, match="duplicate"):
+            FailureSchedule(
+                events=(LatentError(0.0, disk=1, pblock=7), LatentError(3.0, disk=1, pblock=7))
+            )
+
+    def test_same_pblock_on_different_disks_is_fine(self):
+        FailureSchedule(
+            events=(LatentError(0.0, disk=1, pblock=7), LatentError(0.0, disk=2, pblock=7))
+        )
+
+    def test_spare_without_failure_rejected(self):
+        with pytest.raises(FailureScheduleError, match="without a DiskFailure"):
+            FailureSchedule(events=(SpareArrival(at_ms=10.0),))
+
+    def test_spare_before_failure_rejected(self):
+        with pytest.raises(FailureScheduleError, match="before the failure"):
+            FailureSchedule(
+                events=(DiskFailure(100.0, disk=0), SpareArrival(at_ms=50.0))
+            )
+
+    def test_non_event_rejected(self):
+        with pytest.raises(FailureScheduleError, match="not a failure event"):
+            FailureSchedule(events=("disk dies",))
+
+    def test_list_events_canonicalized_to_tuple(self):
+        s = FailureSchedule(events=[DiskFailure(0.0, disk=0)])
+        assert isinstance(s.events, tuple)
+
+
+class TestScheduleSemantics:
+    def test_empty(self):
+        assert FailureSchedule().empty
+        assert not FailureSchedule(events=(DiskFailure(0.0, disk=0),)).empty
+        assert not FailureSchedule(scrub=ScrubPolicy(period_ms=10.0)).empty
+
+    def test_ordered_events_sorts_by_time(self):
+        a = LatentError(30.0, disk=1, pblock=0)
+        b = DiskFailure(0.0, disk=0)
+        c = SpareArrival(50.0)
+        s = FailureSchedule(events=(a, b, c))
+        assert s.ordered_events() == (b, a, c)
+
+    def test_ordered_events_ties_break_by_position(self):
+        a = LatentError(0.0, disk=1, pblock=0)
+        b = LatentError(0.0, disk=2, pblock=0)
+        assert FailureSchedule(events=(a, b)).ordered_events() == (a, b)
+        assert FailureSchedule(events=(b, a)).ordered_events() == (b, a)
+
+    def test_single_failure_constructor(self):
+        s = FailureSchedule.single_failure(
+            at_ms=5.0, disk=2, spare_after_ms=10.0, rebuild_delay_ms=4.0
+        )
+        assert s.events[0] == DiskFailure(5.0, disk=2)
+        assert s.events[1].at_ms == 15.0
+        assert s.events[1].rebuild_delay_ms == 4.0
+
+    def test_single_failure_without_spare(self):
+        s = FailureSchedule.single_failure(disk=1)
+        assert len(s.events) == 1
+
+
+class TestDeterminism:
+    """The point content hash includes repr(schedule); the parallel
+    engine pickles schedules to workers.  Both must be stable."""
+
+    def make(self):
+        return FailureSchedule.single_failure(
+            at_ms=0.0,
+            disk=0,
+            spare_after_ms=50.0,
+            rebuild_blocks=600,
+            scrub=ScrubPolicy(period_ms=300.0, min_passes=1),
+        )
+
+    def test_repr_deterministic_and_complete(self):
+        a, b = self.make(), self.make()
+        assert repr(a) == repr(b)
+        # Any knob change must change the repr (it feeds the store key).
+        c = FailureSchedule.single_failure(
+            at_ms=0.0, disk=0, spare_after_ms=50.0, rebuild_blocks=601,
+            scrub=ScrubPolicy(period_ms=300.0, min_passes=1),
+        )
+        assert repr(c) != repr(a)
+
+    def test_hashable_and_equal(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+
+    def test_pickle_round_trip(self):
+        s = self.make()
+        back = pickle.loads(pickle.dumps(s))
+        assert back == s
+        assert repr(back) == repr(s)

@@ -1,0 +1,68 @@
+"""Golden-snapshot regression tests for failure scenarios.
+
+Same discipline as ``test_golden.py`` — two live runs must agree
+bit-exactly before comparing against the committed fixture — but the
+snapshots additionally carry the ``failures`` section (rebuild/scrub
+outcomes, degraded counters, exposure windows), so any drift in the
+failure subsystem shows up as a named field diff.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.failure import FailureSchedule, LatentError, ScrubPolicy
+from repro.sim import run_trace
+from repro.validate import compare_snapshots, load_snapshot, save_snapshot, snapshot
+from repro.validate.golden import diff_snapshots
+from tests.validate.workload import config, make_trace
+
+FIXTURES = Path(__file__).parent
+
+REBUILD = FailureSchedule.single_failure(
+    at_ms=0.0, disk=1, spare_after_ms=50.0, rebuild_delay_ms=1.0, rebuild_blocks=400
+)
+SCRUB = FailureSchedule(
+    events=tuple(
+        LatentError(at_ms=0.0, disk=1 + (i % 3), pblock=(i * 97) % 400)
+        for i in range(6)
+    ),
+    scrub=ScrubPolicy(period_ms=300.0, chunk_blocks=48, max_blocks=512, min_passes=1),
+)
+
+CASES = {
+    "failure_rebuild_raid5_n4": dict(org="raid5", n=4, failures=REBUILD),
+    "failure_scrub_mirror_n4": dict(org="mirror", n=4, failures=SCRUB),
+}
+
+
+def golden_run(case_kw):
+    kw = dict(case_kw)
+    failures = kw.pop("failures")
+    org = kw.pop("org")
+    cfg = config(org, **kw)
+    trace = make_trace(seed=11, n=150, ndisks=4)
+    return run_trace(cfg, trace, warmup_fraction=0.1, validate=True, failures=failures)
+
+
+class TestGoldenFailure:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_matches_golden(self, case, request):
+        path = FIXTURES / f"{case}.json"
+        first = snapshot(golden_run(CASES[case]))
+        second = snapshot(golden_run(CASES[case]))
+        assert diff_snapshots(first, second, rtol=0.0, atol=0.0) == []
+        assert "failures" in first  # the scenario section must be recorded
+
+        if request.config.getoption("--regen-golden"):
+            save_snapshot(path, first)
+            return
+        expected = load_snapshot(path)
+        assert expected is not None, (
+            f"missing fixture {path.name}; run pytest with --regen-golden"
+        )
+        compare_snapshots(expected, first, rtol=1e-6, atol=1e-9)

@@ -18,7 +18,7 @@ relationship is known and checks the relation, not the number:
 import numpy as np
 import pytest
 
-from repro.array.degraded import DegradedParityController
+from repro.failure import DegradedParityController
 from repro.array.uncached import UncachedParityController
 from repro.channel import Channel
 from repro.des import Environment

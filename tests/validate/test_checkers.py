@@ -150,7 +150,7 @@ class TestDegradedExemption:
     disk; the parity checker must not cry wolf there."""
 
     def _build(self, org="raid5", failed=1):
-        from repro.array.degraded import DegradedParityController
+        from repro.failure import DegradedParityController
         from repro.channel import Channel
         from repro.des import Environment
         from repro.disk import Disk
@@ -182,6 +182,40 @@ class TestDegradedExemption:
         for i, (lb, k, w) in enumerate(
             [(0, 1, True), (240, 1, True), (480, 2, False), (240, 1, False)]
         ):
+            env.process(proc(env, lb, k, w))
+        env.run()
+        assert len(done) == 4
+        monitor.finalize()  # must not raise
+
+    def test_exemption_is_watermark_aware(self):
+        """A rebuild-in-progress array is exempt only *above* the
+        watermark: blocks the rebuild already reconstructed onto the
+        spare are held to the full parity contract again."""
+        from repro.validate.parity import ParityConsistencyChecker
+
+        env, ctrl = self._build(failed=1)
+        ctrl.attach_spare()
+        ctrl.rebuilt_upto = 100
+        gone = ParityConsistencyChecker._gone
+        assert not gone(ctrl, 1, 50)  # rebuilt: drive is live again
+        assert gone(ctrl, 1, 100)  # above the watermark: still gone
+        assert not gone(ctrl, 0, 100)  # other disks never gone
+
+    def test_degraded_writes_pass_validation_mid_rebuild(self):
+        from repro.validate import ValidationMonitor
+
+        env, ctrl = self._build(failed=1)
+        ctrl.attach_spare()
+        ctrl.rebuilt_upto = 120  # half the 240-block disk is back
+        monitor = ValidationMonitor().attach(env, [ctrl])
+        done = []
+
+        def proc(env, lb, k, w):
+            yield from ctrl.handle(lb, k, w)
+            done.append(lb)
+
+        # Writes landing below and above the watermark on the spare.
+        for lb, k, w in [(0, 1, True), (241, 1, True), (700, 2, True), (241, 1, False)]:
             env.process(proc(env, lb, k, w))
         env.run()
         assert len(done) == 4
