@@ -15,7 +15,13 @@ from repro.analytic.solver import (
     AnalyticUnsupportedError,
     solve_trace,
 )
-from repro.analytic.validation import CAMPAIGN_TOLERANCE, TOLERANCE_BANDS, tolerance_for
+from repro.analytic.validation import (
+    CAMPAIGN_TOLERANCE,
+    HDA_P95_TOLERANCE,
+    TOLERANCE_BANDS,
+    hda_tolerance,
+    tolerance_for,
+)
 
 __all__ = [
     "AnalyticSaturationError",
@@ -26,10 +32,12 @@ __all__ = [
     "CAMPAIGN_TOLERANCE",
     "DiskClass",
     "DiskServiceModel",
+    "HDA_P95_TOLERANCE",
     "Moments",
     "RequestClass",
     "TOLERANCE_BANDS",
     "decompose",
+    "hda_tolerance",
     "solve_trace",
     "tolerance_for",
 ]

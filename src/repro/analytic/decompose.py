@@ -208,7 +208,15 @@ def _parity_span(config: SystemConfig, lb: np.ndarray, nb: np.ndarray, m: np.nda
 def decompose(
     config: SystemConfig, trace: Trace, warmup_ms: float = 0.0
 ) -> List[ArrayLoad]:
-    """Split *trace* into per-array analytic workload descriptions."""
+    """Split *trace* into per-array analytic workload descriptions.
+
+    Heterogeneous configs return one :class:`ArrayLoad` per Virtual
+    Array (in VA order); each VA is decomposed through its legacy-shaped
+    :meth:`~repro.sim.config.SystemConfig.va_view`, so all the
+    per-organization mapping above applies unchanged.
+    """
+    if config.heterogeneous:
+        return _decompose_heterogeneous(config, trace, warmup_ms)
     narrays = config.arrays_for(trace.ndisks)
     per_array = config.n * config.blocks_per_disk
     records = trace.records
@@ -233,6 +241,51 @@ def decompose(
         wr = is_write[sel]
         measured = times[sel] >= warmup_ms
         load = _decompose_array(config, lb, nb, wr, duration, stats, narrays, a)
+        load.measured_reads = int((measured & ~wr).sum())
+        load.measured_writes = int((measured & wr).sum())
+        loads.append(load)
+    return loads
+
+
+def _decompose_heterogeneous(
+    config: SystemConfig, trace: Trace, warmup_ms: float
+) -> List[ArrayLoad]:
+    """Per-VA decomposition: VA-first routing over unequal spans."""
+    records = trace.records
+    times = records["time"]
+    lblocks = records["lblock"]
+    nblocks = records["nblocks"].astype(np.int64)
+    is_write = records["is_write"]
+    duration = trace.duration_ms if trace.duration_ms > 0 else math.inf
+
+    spans = np.array(config.va_spans, dtype=np.int64)
+    bounds = np.cumsum(spans)
+    starts = bounds - spans
+    owners = np.searchsorted(bounds, lblocks, side="right")
+
+    loads = []
+    for vi in range(len(config.vas)):
+        vcfg = config.va_view(vi)
+        sel = owners == vi
+        lb = lblocks[sel] - starts[vi]
+        # Requests spanning into the next VA are rare; clamp them to the
+        # owning VA (the DES splits them, same first-order load).
+        nb = np.minimum(nblocks[sel], spans[vi] - lb)
+        wr = is_write[sel]
+        measured = times[sel] >= warmup_ms
+        stats = None
+        if vcfg.cached:
+            sub = np.empty(int(sel.sum()), dtype=records.dtype)
+            sub["time"] = times[sel]
+            sub["lblock"] = lb
+            sub["nblocks"] = nb
+            sub["is_write"] = wr
+            sub_trace = Trace(
+                sub, vcfg.n, vcfg.blocks_per_disk,
+                name=f"{trace.name}#va{vi}",
+            )
+            stats = _cache_stats(vcfg, sub_trace)
+        load = _decompose_array(vcfg, lb, nb, wr, duration, stats, 1, 0)
         load.measured_reads = int((measured & ~wr).sum())
         load.measured_writes = int((measured & wr).sum())
         loads.append(load)

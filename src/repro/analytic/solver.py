@@ -102,6 +102,39 @@ class AnalyticTally(Tally):
         return floor + excess * -math.log(1.0 - q / 100.0)
 
 
+class _ServiceBank:
+    """Per-disk service models of one array.
+
+    The homogeneous case (every disk the same model object — all legacy
+    configs, and any VA whose disks share a :class:`DiskParams`) keeps
+    the solver's original scalar arithmetic bit-for-bit; heterogeneous
+    VAs mix per-disk moments weighted by each branch's disk-visit
+    probabilities (per-disk-class queues still solve independently in
+    :func:`_disk_waits`).
+    """
+
+    __slots__ = ("models", "model", "homogeneous")
+
+    def __init__(self, models: List[DiskServiceModel]) -> None:
+        self.models = list(models)
+        self.model = self.models[0]
+        self.homogeneous = all(m is self.model for m in self.models)
+
+    def branch_service_mean(self, branch) -> float:
+        """Mean service time of one fork-join branch."""
+        if self.homogeneous:
+            return self.model.access(
+                branch.kind, branch.nblocks, None, branch.nearest_of_two
+            ).mean
+        means = np.array(
+            [
+                m.access(branch.kind, branch.nblocks, None, branch.nearest_of_two).mean
+                for m in self.models
+            ]
+        )
+        return float(np.dot(branch.weights, means))
+
+
 def solve_trace(
     config: SystemConfig,
     workload: Trace,
@@ -109,20 +142,28 @@ def solve_trace(
     name: Optional[str] = None,
 ) -> RunResult:
     """Analytically solve *workload* on *config* (drop-in for the DES)."""
-    if workload.blocks_per_disk != config.blocks_per_disk:
+    hetero = config.heterogeneous
+    if hetero:
+        total = workload.ndisks * workload.blocks_per_disk
+        if total != config.total_logical_blocks:
+            raise ValueError(
+                f"trace addresses {total} logical blocks but the VAs define "
+                f"{config.total_logical_blocks} (spans {config.va_spans})"
+            )
+    elif workload.blocks_per_disk != config.blocks_per_disk:
         raise ValueError(
             f"trace uses {workload.blocks_per_disk} blocks/disk but the config "
             f"expects {config.blocks_per_disk}"
         )
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
-    narrays = config.arrays_for(workload.ndisks)
+    narrays = len(config.vas) if hetero else config.arrays_for(workload.ndisks)
     warmup_ms = workload.duration_ms * warmup_fraction
 
     result = RunResult(
         name=name or workload.name,
-        organization=config.organization.value,
-        n=config.n,
+        organization=config.organization_label,
+        n=sum(va.n for va in config.vas) if hetero else config.n,
         narrays=narrays,
         simulated_ms=workload.duration_ms,
         requests=len(workload),
@@ -132,22 +173,23 @@ def solve_trace(
         result.response = AnalyticTally(0, math.nan)
         result.read_response = AnalyticTally(0, math.nan)
         result.write_response = AnalyticTally(0, math.nan)
+        if hetero:
+            result.va_response = [AnalyticTally(0, math.nan) for _ in config.vas]
         return result
 
-    service = DiskServiceModel(
-        config.disk.geometry(config.block_bytes),
-        config.disk.seek_model(),
-        config.blocks_per_disk,
-    )
+    banks = _service_banks(config)
 
     # (weight, mean response, zero-load floor) per request class, globally.
     read_terms: List[Tuple[float, float, float]] = []
     write_terms: List[Tuple[float, float, float]] = []
+    va_terms: List[List[Tuple[float, float, float]]] = [[] for _ in range(narrays)]
     measured_reads = 0
     measured_writes = 0
 
-    for a, load in enumerate(decompose(config, workload, warmup_ms)):
-        waits, rho = _disk_waits(load, service, a)
+    loads = decompose(config, workload, warmup_ms)
+    for a, load in enumerate(loads):
+        bank = banks[a] if hetero else banks[0]
+        waits, rho = _disk_waits(load, bank, a)
         w_chan, s_chan, rho_chan = _channel(config, load, a)
 
         metrics = ArrayMetrics(
@@ -163,13 +205,13 @@ def solve_trace(
         for rc in load.requests:
             if rc.weight <= 0:
                 continue
-            mean = _class_response(rc, service, waits, rho, w_chan, s_chan)
+            mean = _class_response(rc, bank, waits, rho, w_chan, s_chan)
             floor = _class_response(
-                rc, service, np.zeros_like(waits), rho, 0.0, s_chan
+                rc, bank, np.zeros_like(waits), rho, 0.0, s_chan
             )
-            (write_terms if rc.is_write else read_terms).append(
-                (rc.weight, mean, floor)
-            )
+            term = (rc.weight, mean, floor)
+            (write_terms if rc.is_write else read_terms).append(term)
+            va_terms[a].append(term)
         measured_reads += load.measured_reads
         measured_writes += load.measured_writes
 
@@ -178,14 +220,52 @@ def solve_trace(
     result.response = _tally(
         read_terms + write_terms, measured_reads + measured_writes
     )
+    if hetero:
+        result.va_response = [
+            _tally(
+                va_terms[a],
+                loads[a].measured_reads + loads[a].measured_writes,
+            )
+            for a in range(narrays)
+        ]
     return result
+
+
+def _service_banks(config: SystemConfig) -> List[_ServiceBank]:
+    """One service bank per array (shared across arrays when legacy)."""
+    if not config.heterogeneous:
+        service = DiskServiceModel(
+            config.disk.geometry(config.block_bytes),
+            config.disk.seek_model(),
+            config.blocks_per_disk,
+        )
+        return [_ServiceBank([service])]
+    assigned = config.resolve_disk_params()
+    model_cache: dict = {}
+    banks = []
+    for vi in range(len(config.vas)):
+        vcfg = config.va_view(vi)
+        models = []
+        for params in assigned[vi]:
+            key = (params, vcfg.blocks_per_disk)
+            model = model_cache.get(key)
+            if model is None:
+                model = DiskServiceModel(
+                    params.geometry(config.block_bytes),
+                    params.seek_model(),
+                    vcfg.blocks_per_disk,
+                )
+                model_cache[key] = model
+            models.append(model)
+        banks.append(_ServiceBank(models))
+    return banks
 
 
 # -- per-array solution -------------------------------------------------------
 
 
 def _disk_waits(
-    load: ArrayLoad, service: DiskServiceModel, array_index: int
+    load: ArrayLoad, bank: _ServiceBank, array_index: int
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Foreground mean waits and total utilization per disk."""
     ndisks = load.ndisks
@@ -193,12 +273,21 @@ def _disk_waits(
     m1 = {True: np.zeros(ndisks), False: np.zeros(ndisks)}
     m2 = {True: np.zeros(ndisks), False: np.zeros(ndisks)}
     for cls in load.classes:
-        mom = service.access(
-            cls.kind, cls.nblocks, cls.nblocks_second, cls.nearest_of_two
-        )
-        lam[cls.background] += cls.rates
-        m1[cls.background] += cls.rates * mom.mean
-        m2[cls.background] += cls.rates * mom.second
+        if bank.homogeneous:
+            mom = bank.model.access(
+                cls.kind, cls.nblocks, cls.nblocks_second, cls.nearest_of_two
+            )
+            lam[cls.background] += cls.rates
+            m1[cls.background] += cls.rates * mom.mean
+            m2[cls.background] += cls.rates * mom.second
+        else:
+            moms = [
+                m.access(cls.kind, cls.nblocks, cls.nblocks_second, cls.nearest_of_two)
+                for m in bank.models
+            ]
+            lam[cls.background] += cls.rates
+            m1[cls.background] += cls.rates * np.array([mm.mean for mm in moms])
+            m2[cls.background] += cls.rates * np.array([mm.second for mm in moms])
 
     rho = m1[False] + m1[True]
     waits = np.zeros(ndisks)
@@ -241,7 +330,7 @@ def _channel(
 
 def _class_response(
     rc,
-    service: DiskServiceModel,
+    bank: _ServiceBank,
     waits: np.ndarray,
     rho: np.ndarray,
     w_chan: float,
@@ -266,8 +355,7 @@ def _class_response(
     branch_means = []
     util = 0.0
     for b in rc.branches:
-        mom = service.access(b.kind, b.nblocks, None, b.nearest_of_two)
-        mean = float(np.dot(b.weights, waits)) + mom.mean
+        mean = float(np.dot(b.weights, waits)) + bank.branch_service_mean(b)
         if b.after_data:
             mean += data_wait
         branch_means.append(mean)

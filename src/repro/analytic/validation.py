@@ -30,7 +30,15 @@ tighten instead whenever model improvements allow (see TESTING.md).
 
 from __future__ import annotations
 
-__all__ = ["TOLERANCE_BANDS", "tolerance_for", "CAMPAIGN_TOLERANCE"]
+from typing import Iterable
+
+__all__ = [
+    "TOLERANCE_BANDS",
+    "tolerance_for",
+    "CAMPAIGN_TOLERANCE",
+    "HDA_P95_TOLERANCE",
+    "hda_tolerance",
+]
 
 #: Relative tolerance on mean response time, DES vs analytic, for
 #: Poisson single-block workloads below the knee.
@@ -49,9 +57,31 @@ TOLERANCE_BANDS: dict[str, float] = {
 #: on the controlled cross-validation grid.
 CAMPAIGN_TOLERANCE = 0.5
 
+#: Relative tolerance on *p95* response for heterogeneous (multi-VA)
+#: cross-validation.  The analytic backend reconstructs percentiles from
+#: a shifted-exponential tail fitted to (mean, floor); mixing VAs with
+#: different service floors fattens the true tail well beyond a single
+#: exponential, so the analytic p95 sits systematically low (~0.6x DES
+#: in the mirror+RAID5 reference point).  Means stay inside the per-org
+#: bands — only the percentile reconstruction gets this looser gate.
+HDA_P95_TOLERANCE = 0.5
+
 
 def tolerance_for(org: str, cached: bool = False) -> float:
     """Relative mean-response tolerance for an organization."""
     if cached:
         return TOLERANCE_BANDS["cached"]
     return TOLERANCE_BANDS[org]
+
+
+def hda_tolerance(orgs: Iterable[str], cached: bool = False) -> float:
+    """Mean-response tolerance for a heterogeneous (multi-VA) system.
+
+    The system-level mean is a request-weighted blend of the member
+    VAs' responses, so its modelling error is bounded by the loosest
+    member band.
+    """
+    tols = [tolerance_for(org, cached) for org in orgs]
+    if not tols:
+        raise ValueError("hda_tolerance needs at least one organization")
+    return max(tols)

@@ -1,17 +1,26 @@
-"""Back-compat shim: degraded-mode operation moved to :mod:`repro.failure`.
+"""Deprecated shim: degraded-mode operation moved to :mod:`repro.failure`.
 
 The degraded controllers and the rebuild process were promoted into the
 failure-domain subsystem (``src/repro/failure/``), where they gained
 runtime failure transitions, latent-error handling and scrub support.
-This module re-exports the original names so existing imports keep
-working; new code should import from :mod:`repro.failure` directly.
+Importing this module re-exports the original names but now raises a
+:class:`DeprecationWarning`; import from :mod:`repro.failure.degraded`
+(or the :mod:`repro.failure` package) instead.
 """
+
+import warnings
 
 from repro.failure.degraded import (
     DegradedMirrorController,
     DegradedParityController,
     RebuildProcess,
     reconstruction_sources,
+)
+
+warnings.warn(
+    "repro.array.degraded is deprecated; import from repro.failure.degraded",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

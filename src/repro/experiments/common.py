@@ -21,7 +21,7 @@ array is wider than the database.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -68,8 +68,11 @@ def _trace1_cached(scale: float) -> Trace:
     return slice_arrays(full, 0, T1_DISKS)
 
 
-def _trace2_cached(scale: float) -> Trace:
-    return cached_generate(trace2_config(scale=scale))
+def _trace2_cached(scale: float, hda: tuple = ()) -> Trace:
+    cfg = trace2_config(scale=scale)
+    if hda:
+        cfg = replace(cfg, **dict(hda))
+    return cached_generate(cfg)
 
 
 def _pad_disks(trace: Trace, ndisks: int) -> Trace:
@@ -86,7 +89,13 @@ def _pad_disks(trace: Trace, ndisks: int) -> Trace:
     )
 
 
-def get_trace(which: int, scale: float = 1.0, speed: float = 1.0, n: int = 10) -> Trace:
+def get_trace(
+    which: int,
+    scale: float = 1.0,
+    speed: float = 1.0,
+    n: int = 10,
+    hda: tuple = (),
+) -> Trace:
     """Build the experiment trace.
 
     Parameters
@@ -100,18 +109,27 @@ def get_trace(which: int, scale: float = 1.0, speed: float = 1.0, n: int = 10) -
     n:
         Array size the trace will be run against (used to pad Trace 2
         when ``n`` exceeds its 10 data disks).
+    hda:
+        Heterogeneous-array generator overrides: sorted keyword pairs
+        applied to the Trace-2 synthetic config (``ndisks``,
+        ``va_disks``, ``va_weights``, ``va_write_skew``, ...).  Only
+        valid for Trace 2; the logical space is taken as-is (no
+        ``n``-padding) because an HDA point sizes it explicitly.
     """
-    key = (which, round(scale, 9), round(speed, 9), n)
+    hda = tuple(hda)
+    key = (which, round(scale, 9), round(speed, 9), n) + ((hda,) if hda else ())
     cached = _final_traces.get(key)
     if cached is not None:
         _final_traces.move_to_end(key)
         return cached
 
     if which == 1:
+        if hda:
+            raise ValueError("hda overrides are only supported for trace 2")
         trace = _trace1_cached(round(T1_BASE_SCALE * scale, 6))
     elif which == 2:
-        trace = _trace2_cached(round(T2_BASE_SCALE * scale, 6))
-        if n > trace.ndisks:
+        trace = _trace2_cached(round(T2_BASE_SCALE * scale, 6), hda)
+        if not hda and n > trace.ndisks:
             trace = _pad_disks(trace, n)
     else:
         raise ValueError(f"trace must be 1 or 2, got {which}")

@@ -51,12 +51,20 @@ class TraceSpec:
     scale: float
     speed: float = 1.0
     n: int = 10
+    #: Heterogeneous-array generator overrides (sorted keyword pairs for
+    #: :class:`~repro.trace.synthetic.SyntheticTraceConfig`, e.g.
+    #: ``ndisks``/``va_disks``/``va_weights``/``va_write_skew``).  Empty
+    #: for every legacy spec, so their pickles and store hashes are
+    #: unchanged.
+    hda: Tuple[Tuple[str, Any], ...] = ()
 
     def materialize(self):
         """Build the trace (through the shared trace cache)."""
         from repro.experiments.common import get_trace
 
-        return get_trace(self.which, self.scale, speed=self.speed, n=self.n)
+        return get_trace(
+            self.which, self.scale, speed=self.speed, n=self.n, hda=self.hda
+        )
 
 
 @dataclass(frozen=True)
@@ -160,6 +168,24 @@ def run_point(point: Point) -> PointValue:
                 ("exposure_mean_ms", float(f.exposure_mean_ms)),
                 ("lost_requests", float(f.lost_reads + f.lost_writes)),
             ]
+        if res.va_response:
+            # Heterogeneous (multi-VA) points report per-VA latency and
+            # the VA's mean disk utilization so assemble() can plot
+            # per-class curves.  Homogeneous points never populate
+            # ``va_response``, so their extras stay byte-identical.
+            for vi, tally in enumerate(res.va_response):
+                try:
+                    p95 = tally.percentile(95) if tally.count else float("nan")
+                except ValueError:  # samples not kept for this point
+                    p95 = float("nan")
+                util = float("nan")
+                if vi < len(res.arrays) and len(res.arrays[vi].disk_utilization):
+                    util = float(res.arrays[vi].disk_utilization.mean())
+                extras += [
+                    (f"va{vi}_mean_ms", float(tally.mean)),
+                    (f"va{vi}_p95_ms", float(p95)),
+                    (f"va{vi}_util", util),
+                ]
         return PointValue(
             mean_response_ms=res.mean_response_ms,
             physical_disks=len(res.per_disk_accesses),

@@ -37,6 +37,7 @@ from repro.experiments import fig15_16_parity_cache
 from repro.experiments import fig17_19_parity_cache_params
 from repro.experiments import extensions
 from repro.experiments import ext_failure
+from repro.experiments import ext_hda
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
@@ -123,6 +124,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                    points=ext_failure.points_rebuild_rate, assemble=ext_failure.assemble_rebuild_rate),
         Experiment("ext-scrub", "Scrub interval vs latent-error exposure", ext_failure.run_scrub, cost=2,
                    points=ext_failure.points_scrub, assemble=ext_failure.assemble_scrub),
+        Experiment("ext-hda", "Heterogeneous arrays: allocation policy x VA mix", ext_hda.run, cost=3,
+                   points=ext_hda.points, assemble=ext_hda.assemble),
     ]
 }
 

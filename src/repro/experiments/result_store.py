@@ -93,6 +93,10 @@ def point_key(point: Point) -> str:
         "org": point.org,
         "overrides": [[k, repr(v)] for k, v in point.overrides],
     }
+    if point.spec.hda:
+        # Added only when present so every legacy point's hash — and
+        # therefore its already-stored value — survives unchanged.
+        payload["spec"]["hda"] = [[k, repr(v)] for k, v in point.spec.hda]
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()
     ).hexdigest()[:32]

@@ -19,17 +19,29 @@ from repro.layout.mirror import MirrorLayout
 from repro.layout.raid5 import Raid5Layout
 from repro.layout.raid4 import Raid4Layout
 from repro.layout.paritystripe import ParityStripingLayout, ParityPlacement
+from repro.layout.allocation import (
+    AllocationError,
+    POLICIES,
+    PoolSlot,
+    VADemand,
+    allocate,
+)
 
 __all__ = [
+    "AllocationError",
     "BaseLayout",
     "Layout",
     "MirrorLayout",
+    "POLICIES",
     "ParityPlacement",
     "ParityStripingLayout",
     "PhysicalAddress",
+    "PoolSlot",
     "Raid4Layout",
     "Raid5Layout",
     "Run",
+    "VADemand",
     "WriteGroup",
     "WriteMode",
+    "allocate",
 ]

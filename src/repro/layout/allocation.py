@@ -1,0 +1,150 @@
+"""Allocation policies: placing Virtual Arrays onto a heterogeneous disk pool.
+
+A Heterogeneous Disk Array (HDA, Thomasian & Xu) holds several Virtual
+Arrays (VAs) — each with its own RAID organization — over disjoint
+groups of physical disks drawn from a pool that may mix disk models
+(fast/small next to slow/large).  This module is the pure placement
+kernel: given each VA's demand (how many disks, how many blocks each
+must hold, how hot the VA is) and each pool slot's capabilities
+(capacity, a bandwidth figure of merit), it returns which slots each VA
+occupies.
+
+Three policies, all deterministic (ties broken by declaration order):
+
+``first_fit``
+    VAs in declaration order take the first free slots (pool order)
+    with enough capacity.  The naive baseline — it can leave the fast
+    disks idle.
+``bandwidth``
+    Bandwidth-balanced: VAs sorted by per-disk heat (``heat / ndisks``,
+    hottest first) take the fastest fitting slots.  Concentrates the
+    small-write-heavy mirrored VA on the fast spindles.
+``capacity``
+    Capacity-balanced: VAs sorted by per-disk capacity demand (largest
+    first) take the *smallest* fitting slots (best fit), keeping the
+    large disks available for the VAs that actually need them.
+
+The module is deliberately free of ``repro.sim`` imports so the config
+layer can call into it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "AllocationError",
+    "POLICIES",
+    "PoolSlot",
+    "VADemand",
+    "allocate",
+]
+
+#: The supported allocation policy names.
+POLICIES = ("first_fit", "bandwidth", "capacity")
+
+
+class AllocationError(ValueError):
+    """The pool cannot satisfy a VA's demand under the chosen policy."""
+
+
+@dataclass(frozen=True)
+class VADemand:
+    """What one Virtual Array asks of the pool."""
+
+    #: Physical disks the VA's layout needs (data + redundancy).
+    ndisks: int
+    #: Blocks every assigned disk must be able to hold.
+    capacity_blocks: int
+    #: Expected share of the workload's accesses (relative, unnormalized).
+    heat: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ndisks < 1:
+            raise ValueError("a VA needs at least one disk")
+        if self.capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be >= 1")
+        if self.heat <= 0:
+            raise ValueError("heat must be positive")
+
+
+@dataclass(frozen=True)
+class PoolSlot:
+    """One physical disk offered by the pool."""
+
+    capacity_blocks: int
+    #: Figure of merit for small accesses (higher = faster); any
+    #: consistent scale works — only the ordering matters.
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be >= 1")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+def allocate(
+    policy: str,
+    demands: Sequence[VADemand],
+    slots: Sequence[PoolSlot],
+) -> List[Tuple[int, ...]]:
+    """Place every VA onto disjoint pool slots.
+
+    Returns, in VA declaration order, the tuple of slot indices assigned
+    to each VA (sorted ascending within a VA, so disk ``di`` of a VA is
+    always the same physical slot regardless of greedy pick order).
+    Raises :class:`AllocationError` when a VA cannot be satisfied.
+    """
+    if policy not in POLICIES:
+        raise AllocationError(
+            f"unknown allocation policy {policy!r}; expected one of {POLICIES}"
+        )
+    if not demands:
+        raise AllocationError("no VAs to place")
+    if policy == "first_fit":
+        va_order = range(len(demands))
+        slot_order = list(range(len(slots)))
+    elif policy == "bandwidth":
+        # Hottest per-disk VA first, fastest slots first.
+        va_order = sorted(
+            range(len(demands)),
+            key=lambda i: (-demands[i].heat / demands[i].ndisks, i),
+        )
+        slot_order = sorted(
+            range(len(slots)), key=lambda s: (-slots[s].bandwidth, s)
+        )
+    else:  # capacity
+        # Most capacity-hungry VA first, smallest fitting slot first.
+        va_order = sorted(
+            range(len(demands)), key=lambda i: (-demands[i].capacity_blocks, i)
+        )
+        slot_order = sorted(
+            range(len(slots)), key=lambda s: (slots[s].capacity_blocks, s)
+        )
+
+    free = set(range(len(slots)))
+    placements: List[Tuple[int, ...]] = [()] * len(demands)
+    for vi in va_order:
+        demand = demands[vi]
+        got: List[int] = []
+        for si in slot_order:
+            if si in free and slots[si].capacity_blocks >= demand.capacity_blocks:
+                got.append(si)
+                if len(got) == demand.ndisks:
+                    break
+        if len(got) < demand.ndisks:
+            fitting = sum(
+                1
+                for si in free
+                if slots[si].capacity_blocks >= demand.capacity_blocks
+            )
+            raise AllocationError(
+                f"policy {policy!r}: VA {vi} needs {demand.ndisks} disks of "
+                f">= {demand.capacity_blocks} blocks but only {fitting} free "
+                f"slots fit (pool of {len(slots)})"
+            )
+        free.difference_update(got)
+        placements[vi] = tuple(sorted(got))
+    return placements

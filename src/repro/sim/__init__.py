@@ -6,7 +6,13 @@
 :mod:`repro.sim.results`.
 """
 
-from repro.sim.config import DiskParams, SystemConfig, Organization
+from repro.sim.config import (
+    DiskParams,
+    DiskPoolEntry,
+    Organization,
+    SystemConfig,
+    VAConfig,
+)
 from repro.sim.results import ArrayMetrics, RunResult
 from repro.sim.system import ArraySystem, build_system
 from repro.sim.runner import run_trace
@@ -15,9 +21,11 @@ __all__ = [
     "ArrayMetrics",
     "ArraySystem",
     "DiskParams",
+    "DiskPoolEntry",
     "Organization",
     "RunResult",
     "SystemConfig",
+    "VAConfig",
     "build_system",
     "run_trace",
 ]

@@ -23,9 +23,16 @@ from repro.layout import (
     Raid4Layout,
     Raid5Layout,
 )
+from repro.layout.allocation import POLICIES, PoolSlot, VADemand, allocate
 from repro.trace.synthetic import DEFAULT_BLOCKS_PER_DISK
 
-__all__ = ["Organization", "DiskParams", "SystemConfig"]
+__all__ = [
+    "DiskParams",
+    "DiskPoolEntry",
+    "Organization",
+    "SystemConfig",
+    "VAConfig",
+]
 
 
 class Organization(enum.Enum):
@@ -85,6 +92,89 @@ class DiskParams:
             maximal_ms=self.maximal_seek_ms,
             settle_ms=self.settle_ms,
         )
+
+
+def _disk_bandwidth(disk: DiskParams, block_bytes: int) -> float:
+    """Small-access figure of merit: accesses/ms at zero load."""
+    geometry = disk.geometry(block_bytes)
+    service = (
+        disk.average_seek_ms
+        + geometry.revolution_time / 2.0
+        + geometry.block_transfer_time
+    )
+    return 1.0 / service
+
+
+@dataclass(frozen=True)
+class VAConfig:
+    """One Virtual Array of a Heterogeneous Disk Array.
+
+    A VA is a self-contained array organization — its own RAID level,
+    width, stripe unit and (optionally) disk model and capacity share —
+    carved out of the system's disk pool.  ``None`` fields inherit the
+    enclosing :class:`SystemConfig`'s value, so a VA only states what
+    differs from the system defaults.
+    """
+
+    organization: Organization
+    #: Array size: data-disk equivalents of this VA.
+    n: int
+    #: Label for reports (defaults to the organization name).
+    name: str = ""
+    striping_unit: int = 1
+    #: Logical blocks per data disk of this VA (its capacity share);
+    #: ``None`` inherits the system's ``blocks_per_disk``.
+    blocks_per_disk: int | None = None
+    #: Disk model when the system has no pool (``None`` inherits);
+    #: ignored when a pool is present — the allocation policy decides.
+    disk: DiskParams | None = None
+    #: Expected share of the workload's accesses, relative across VAs.
+    #: The bandwidth-balanced allocation policy ranks VAs by
+    #: ``heat / physical disks``.
+    heat: float = 1.0
+    cached: bool = False
+    cache_mb: float | None = None
+    parity_placement: ParityPlacement = ParityPlacement.MIDDLE
+    parity_grain: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("VA n must be >= 1")
+        if self.striping_unit < 1:
+            raise ValueError("VA striping_unit must be >= 1")
+        if self.blocks_per_disk is not None and self.blocks_per_disk < 1:
+            raise ValueError("VA blocks_per_disk must be >= 1")
+        if self.heat <= 0:
+            raise ValueError("VA heat must be positive")
+        if self.cache_mb is not None and self.cache_mb <= 0:
+            raise ValueError("VA cache_mb must be positive")
+        if self.parity_grain is not None and self.parity_grain < 1:
+            raise ValueError("VA parity_grain must be >= 1")
+
+    @property
+    def label(self) -> str:
+        return self.name or self.organization.value
+
+    @property
+    def ndisks(self) -> int:
+        """Physical disks this VA's layout needs (Table 3 rule)."""
+        if self.organization is Organization.BASE:
+            return self.n
+        if self.organization is Organization.MIRROR:
+            return 2 * self.n
+        return self.n + 1
+
+
+@dataclass(frozen=True)
+class DiskPoolEntry:
+    """``count`` identical disks offered to the allocation policies."""
+
+    disk: DiskParams
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("pool entry count must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -152,13 +242,46 @@ class SystemConfig:
 
     disk: DiskParams = field(default_factory=DiskParams)
 
+    # Heterogeneous Disk Array (HDA) extension: when ``vas`` is
+    # non-empty the system is a set of Virtual Arrays placed onto
+    # ``pool`` by ``allocation``; the legacy single-organization fields
+    # above then only provide defaults the VAs can inherit.
+    vas: tuple[VAConfig, ...] = ()
+    #: Placement policy (see :mod:`repro.layout.allocation`).
+    allocation: str = "first_fit"
+    #: Heterogeneous disk pool; empty = every VA uses its own (or the
+    #: system's) disk model directly.
+    pool: tuple[DiskPoolEntry, ...] = ()
+
     def __post_init__(self) -> None:
+        # Coerce lists passed for convenience into the hashable tuples
+        # the frozen dataclass expects.
+        if not isinstance(self.vas, tuple):
+            object.__setattr__(self, "vas", tuple(self.vas))
+        if not isinstance(self.pool, tuple):
+            object.__setattr__(self, "pool", tuple(self.pool))
         if self.n < 1:
             raise ValueError("n must be >= 1")
+        if self.blocks_per_disk < 1:
+            raise ValueError("blocks_per_disk must be >= 1")
+        if self.block_bytes < 1:
+            raise ValueError("block_bytes must be >= 1")
+        if self.striping_unit < 1:
+            raise ValueError("striping_unit must be >= 1")
+        if self.parity_grain is not None and self.parity_grain < 1:
+            raise ValueError("parity_grain must be >= 1")
+        if self.channel_mb_per_s <= 0:
+            raise ValueError("channel_mb_per_s must be positive")
+        if self.track_buffers_per_disk < 1:
+            raise ValueError("track_buffers_per_disk must be >= 1")
+        if self.si_max_hold_revolutions < 1:
+            raise ValueError("si_max_hold_revolutions must be >= 1")
         if self.cache_mb <= 0:
             raise ValueError("cache_mb must be positive")
         if self.destage_period_ms <= 0:
             raise ValueError("destage period must be positive")
+        if self.destage_max_blocks is not None and self.destage_max_blocks < 1:
+            raise ValueError("destage_max_blocks must be >= 1")
         if not 0.0 < self.rmw_threshold <= 1.0:
             raise ValueError("rmw_threshold must be in (0, 1]")
         if self.destage_policy not in ("periodic", "lru_demand", "decoupled"):
@@ -168,6 +291,13 @@ class SystemConfig:
         if self.decoupled_batches_per_period < 1 or self.decoupled_batch_blocks < 1:
             raise ValueError("decoupled destage parameters must be >= 1")
         SyncPolicy.parse(self.sync_policy)  # validate early
+        if self.allocation not in POLICIES:
+            raise ValueError(
+                f"unknown allocation policy {self.allocation!r}; "
+                f"expected one of {POLICIES}"
+            )
+        if self.pool and not self.vas:
+            raise ValueError("a disk pool requires at least one VA")
 
     # -- derived -------------------------------------------------------------
     @property
@@ -182,6 +312,10 @@ class SystemConfig:
     @property
     def disks_per_array(self) -> int:
         """Physical disks per array for this organization (Table 3)."""
+        if self.heterogeneous:
+            raise ValueError(
+                "heterogeneous config: per-VA, use va_view(vi).disks_per_array"
+            )
         if self.organization is Organization.BASE:
             return self.n
         if self.organization is Organization.MIRROR:
@@ -190,6 +324,10 @@ class SystemConfig:
 
     def make_layout(self) -> Layout:
         """Instantiate the layout for one array."""
+        if self.heterogeneous:
+            raise ValueError(
+                "heterogeneous config: per-VA, use va_view(vi).make_layout()"
+            )
         org = self.organization
         if org is Organization.BASE:
             return BaseLayout(self.n, self.blocks_per_disk)
@@ -208,6 +346,10 @@ class SystemConfig:
 
     def arrays_for(self, total_data_disks: int) -> int:
         """Arrays needed to hold *total_data_disks* logical disks."""
+        if self.heterogeneous:
+            raise ValueError(
+                "heterogeneous config: the arrays are the VAs (len(vas))"
+            )
         if total_data_disks % self.n:
             raise ValueError(
                 f"{total_data_disks} data disks not divisible by N={self.n}"
@@ -215,5 +357,113 @@ class SystemConfig:
         return total_data_disks // self.n
 
     def with_(self, **changes) -> "SystemConfig":
-        """Functional update (convenience for parameter sweeps)."""
+        """Functional update (convenience for parameter sweeps).
+
+        The replacement re-runs ``__post_init__``, so the resulting
+        config is validated exactly like a freshly constructed one —
+        an invalid piecemeal change (``with_(striping_unit=0)``) raises
+        instead of producing a config the builders choke on later.
+        """
         return replace(self, **changes)
+
+    # -- heterogeneous (HDA) derived ------------------------------------------
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the system is a set of Virtual Arrays."""
+        return bool(self.vas)
+
+    def va_blocks_per_disk(self, vi: int) -> int:
+        """Effective blocks-per-data-disk of VA *vi* (inheriting)."""
+        va = self.vas[vi]
+        return (
+            va.blocks_per_disk
+            if va.blocks_per_disk is not None
+            else self.blocks_per_disk
+        )
+
+    @property
+    def va_spans(self) -> tuple[int, ...]:
+        """Logical address-space blocks owned by each VA, in order."""
+        return tuple(
+            va.n * self.va_blocks_per_disk(vi) for vi, va in enumerate(self.vas)
+        )
+
+    @property
+    def total_logical_blocks(self) -> int:
+        """Size of the combined VA logical address space."""
+        if not self.heterogeneous:
+            raise ValueError("total_logical_blocks is defined for HDA configs")
+        return sum(self.va_spans)
+
+    @property
+    def organization_label(self) -> str:
+        """Report label: the org name, or ``hda(...)`` listing the VAs."""
+        if not self.heterogeneous:
+            return self.organization.value
+        return "hda(" + "+".join(va.organization.value for va in self.vas) + ")"
+
+    @property
+    def any_cached(self) -> bool:
+        """Whether any array (legacy or VA) runs a controller cache."""
+        if not self.heterogeneous:
+            return self.cached
+        return any(va.cached for va in self.vas)
+
+    def va_view(self, vi: int) -> "SystemConfig":
+        """A legacy-shaped config describing VA *vi* alone.
+
+        The builders, controllers and the analytic decomposition all
+        consume plain single-organization configs; the heterogeneous
+        paths hand them this per-VA view instead of teaching every
+        layer about VAs.
+        """
+        va = self.vas[vi]
+        return replace(
+            self,
+            vas=(),
+            pool=(),
+            allocation="first_fit",
+            organization=va.organization,
+            n=va.n,
+            blocks_per_disk=self.va_blocks_per_disk(vi),
+            striping_unit=va.striping_unit,
+            parity_placement=va.parity_placement,
+            parity_grain=va.parity_grain,
+            cached=va.cached,
+            cache_mb=va.cache_mb if va.cache_mb is not None else self.cache_mb,
+            disk=va.disk if va.disk is not None else self.disk,
+        )
+
+    def resolve_disk_params(self) -> list[list[DiskParams]]:
+        """Physical disk model for every disk of every VA.
+
+        With a pool, runs the configured allocation policy; without
+        one, each VA uses its own (or the inherited) disk model.
+        Raises :class:`~repro.layout.allocation.AllocationError` when
+        the pool cannot satisfy the VAs.
+        """
+        if not self.heterogeneous:
+            raise ValueError("resolve_disk_params is defined for HDA configs")
+        if not self.pool:
+            return [
+                [self.va_view(vi).disk] * va.ndisks
+                for vi, va in enumerate(self.vas)
+            ]
+        slot_params = [e.disk for e in self.pool for _ in range(e.count)]
+        slots = [
+            PoolSlot(
+                capacity_blocks=p.geometry(self.block_bytes).total_blocks,
+                bandwidth=_disk_bandwidth(p, self.block_bytes),
+            )
+            for p in slot_params
+        ]
+        demands = [
+            VADemand(
+                ndisks=va.ndisks,
+                capacity_blocks=self.va_blocks_per_disk(vi),
+                heat=va.heat,
+            )
+            for vi, va in enumerate(self.vas)
+        ]
+        placements = allocate(self.allocation, demands, slots)
+        return [[slot_params[si] for si in placed] for placed in placements]

@@ -54,6 +54,10 @@ class RunResult:
     read_response: Tally = field(default_factory=Tally)
     write_response: Tally = field(default_factory=Tally)
     arrays: list[ArrayMetrics] = field(default_factory=list)
+    #: Per-Virtual-Array response tallies for heterogeneous runs, in VA
+    #: order (a split request counts toward its first VA).  Empty for
+    #: homogeneous runs, so legacy results are unchanged.
+    va_response: list[Tally] = field(default_factory=list)
     #: Kernel events scheduled during the run (0 for the analytic
     #: backend, which has no event loop).  Telemetry only — excluded
     #: from equality so it can never perturb result comparisons.

@@ -19,7 +19,7 @@ from typing import Generator, Optional, Union
 
 import numpy as np
 
-from repro.des import AllOf, Environment, Event
+from repro.des import AllOf, Environment, Event, Tally
 from repro.sim.config import SystemConfig
 from repro.sim.results import ArrayMetrics, RunResult
 from repro.sim.system import ArraySystem, build_system
@@ -116,7 +116,15 @@ def run_trace(
         from repro.analytic import solve_trace
 
         return solve_trace(config, workload, warmup_fraction=warmup_fraction, name=name)
-    if workload.blocks_per_disk != config.blocks_per_disk:
+    if config.heterogeneous:
+        total = workload.ndisks * workload.blocks_per_disk
+        if total != config.total_logical_blocks:
+            raise ValueError(
+                f"trace addresses {total} logical blocks but the VAs define "
+                f"{config.total_logical_blocks} "
+                f"(spans {config.va_spans})"
+            )
+    elif workload.blocks_per_disk != config.blocks_per_disk:
         raise ValueError(
             f"trace uses {workload.blocks_per_disk} blocks/disk but the config "
             f"expects {config.blocks_per_disk}"
@@ -133,13 +141,16 @@ def run_trace(
             raise TypeError(
                 f"failures must be a FailureSchedule, got {type(failures).__name__}"
             )
-        if config.cached:
+        if config.any_cached:
             raise ValueError(
                 "failure schedules support the uncached organizations only; "
                 "run with cached=False"
             )
         controller_factory = failure_controller_factory
-    narrays = config.arrays_for(workload.ndisks)
+    narrays = (
+        len(config.vas) if config.heterogeneous
+        else config.arrays_for(workload.ndisks)
+    )
 
     env = Environment()
     system = build_system(env, config, narrays, controller_factory=controller_factory)
@@ -176,14 +187,21 @@ def run_trace(
 
     result = RunResult(
         name=name or workload.name,
-        organization=config.organization.value,
-        n=config.n,
+        organization=config.organization_label,
+        n=sum(va.n for va in config.vas) if config.heterogeneous else config.n,
         narrays=narrays,
         simulated_ms=0.0,
         requests=len(workload),
         warmup_ms=warmup_ms,
     )
-    for tally in (result.response, result.read_response, result.write_response):
+    if config.heterogeneous:
+        result.va_response = [Tally() for _ in config.vas]
+    for tally in (
+        result.response,
+        result.read_response,
+        result.write_response,
+        *result.va_response,
+    ):
         tally._samples = [] if keep_samples else None
 
     # The injector is created *before* the source process so that fault
@@ -336,23 +354,15 @@ def _request(
 ) -> Generator[Event, None, None]:
     """Service one trace request, splitting across arrays if needed."""
     t0 = env.now
-    per_array = system.config.n * system.config.blocks_per_disk
-
-    parts = []
-    pos, end = lblock, lblock + nblocks
-    while pos < end:
-        idx, controller, local = system.controller_for(pos)
-        span = min(end - pos, (idx + 1) * per_array - pos)
-        parts.append((controller, local, span))
-        pos += span
+    parts = system.split(lblock, nblocks)
 
     if len(parts) == 1:
-        controller, local, span = parts[0]
+        _, controller, local, span = parts[0]
         yield from controller.handle(local, span, is_write)
     else:
         procs = [
             env.process(controller.handle(local, span, is_write))
-            for controller, local, span in parts
+            for _, controller, local, span in parts
         ]
         yield AllOf(env, procs)
 
@@ -364,6 +374,8 @@ def _request(
         rt = env.now - t0
         result.response.observe(rt)
         (result.write_response if is_write else result.read_response).observe(rt)
+        if result.va_response:
+            result.va_response[parts[0][0]].observe(rt)
         if collector is not None:
             collector.observe_response(rt, is_write)
     progress.one_done()

@@ -3,11 +3,20 @@
 Each array is self-contained — its own disks, channel, controller and
 (if cached) NV cache — mirroring §3.2: "Each array has one controller
 and an independent channel connecting it to the host."
+
+Heterogeneous configs (``config.vas`` non-empty) build one array per
+Virtual Array instead: each VA gets its own layout, its own channel,
+and physical disks whose model comes from the allocation policy's
+placement over the disk pool (:meth:`SystemConfig.resolve_disk_params`).
+Routing is VA-first — the logical address space is the concatenation of
+the VA spans, which may differ in size — while the homogeneous path
+keeps its closed-form ``divmod`` routing bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,11 +38,25 @@ __all__ = ["ArraySystem", "build_system"]
 
 @dataclass
 class ArraySystem:
-    """A built subsystem: ``narrays`` independent arrays."""
+    """A built subsystem: ``narrays`` independent arrays.
+
+    ``spans`` is the logical block count owned by each array.  Empty
+    means uniform legacy spans of ``n * blocks_per_disk`` each, routed
+    by division; a heterogeneous build fills it with the per-VA spans
+    and routing bisects the cumulative bounds.
+    """
 
     env: Environment
     config: SystemConfig
     controllers: list[ArrayController]
+    spans: tuple[int, ...] = ()
+    _bounds: list[int] = field(init=False, repr=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        total = 0
+        for span in self.spans:
+            total += span
+            self._bounds.append(total)
 
     @property
     def narrays(self) -> int:
@@ -46,9 +69,34 @@ class ArraySystem:
 
     def controller_for(self, lblock: int) -> tuple[int, ArrayController, int]:
         """Route a global logical block: ``(array, controller, local_block)``."""
-        per_array = self.config.n * self.config.blocks_per_disk
-        idx = lblock // per_array
-        return idx, self.controllers[idx], lblock - idx * per_array
+        if not self._bounds:
+            per_array = self.config.n * self.config.blocks_per_disk
+            idx = lblock // per_array
+            return idx, self.controllers[idx], lblock - idx * per_array
+        idx = bisect_right(self._bounds, lblock)
+        start = self._bounds[idx - 1] if idx else 0
+        return idx, self.controllers[idx], lblock - start
+
+    def array_end(self, idx: int) -> int:
+        """First global logical block past array *idx*."""
+        if not self._bounds:
+            return (idx + 1) * self.config.n * self.config.blocks_per_disk
+        return self._bounds[idx]
+
+    def split(self, lblock: int, nblocks: int) -> list[tuple[int, ArrayController, int, int]]:
+        """Split a request into per-array parts.
+
+        Returns ``(array, controller, local_block, span)`` tuples in
+        address order; most requests yield exactly one part.
+        """
+        parts = []
+        pos, end = lblock, lblock + nblocks
+        while pos < end:
+            idx, controller, local = self.controller_for(pos)
+            span = min(end - pos, self.array_end(idx) - pos)
+            parts.append((idx, controller, local, span))
+            pos += span
+        return parts
 
 
 def build_system(
@@ -63,10 +111,14 @@ def build_system(
     the default controller selection when given — the failure subsystem
     uses it to substitute the failure-capable controllers
     (:func:`repro.failure.failure_controller_factory`) without the
-    healthy path paying anything for the capability.
+    healthy path paying anything for the capability.  Heterogeneous
+    configs ignore *narrays* beyond checking it matches ``len(vas)``;
+    the factory then receives each VA's :meth:`~SystemConfig.va_view`.
     """
     if narrays < 1:
         raise ValueError("need at least one array")
+    if config.heterogeneous:
+        return _build_heterogeneous(env, config, narrays, controller_factory)
     geometry = config.disk.geometry(config.block_bytes)
     if config.blocks_per_disk > geometry.total_blocks:
         raise ValueError(
@@ -96,6 +148,66 @@ def build_system(
         make = controller_factory if controller_factory is not None else _make_controller
         controllers.append(make(env, layout, disks, channel, config))
     return ArraySystem(env=env, config=config, controllers=controllers)
+
+
+def _build_heterogeneous(
+    env: Environment,
+    config: SystemConfig,
+    narrays: int,
+    controller_factory=None,
+) -> ArraySystem:
+    """One array per Virtual Array, disks placed by the allocation policy."""
+    if narrays != len(config.vas):
+        raise ValueError(
+            f"heterogeneous config defines {len(config.vas)} VAs but "
+            f"{narrays} arrays were requested"
+        )
+    assigned = config.resolve_disk_params()
+    models: dict = {}  # DiskParams -> (geometry, seek_model), built once
+    phase_rng = np.random.default_rng(config.phase_seed)
+
+    controllers: list[ArrayController] = []
+    for vi, va in enumerate(config.vas):
+        vcfg = config.va_view(vi)
+        layout = vcfg.make_layout()
+        params_list = assigned[vi]
+        if len(params_list) != layout.ndisks:  # pragma: no cover - guard
+            raise ValueError(
+                f"VA {vi} placement has {len(params_list)} disks, "
+                f"layout needs {layout.ndisks}"
+            )
+        disks = []
+        for di, params in enumerate(params_list):
+            cached = models.get(params)
+            if cached is None:
+                cached = (params.geometry(config.block_bytes), params.seek_model())
+                models[params] = cached
+            geometry, seek_model = cached
+            if vcfg.blocks_per_disk > geometry.total_blocks:
+                raise ValueError(
+                    f"VA {vi} ({va.label}) needs {vcfg.blocks_per_disk} blocks "
+                    f"per disk but its assigned disk holds {geometry.total_blocks}"
+                )
+            disks.append(
+                Disk(
+                    env,
+                    geometry,
+                    seek_model,
+                    name=f"a{vi}.d{di}",
+                    scheduler=(
+                        SSTFScheduler(geometry)
+                        if config.disk_scheduler == "sstf"
+                        else None
+                    ),
+                    phase=0.0 if config.spindle_sync else float(phase_rng.random()),
+                )
+            )
+        channel = Channel(env, config.channel_mb_per_s, name=f"a{vi}.chan")
+        make = controller_factory if controller_factory is not None else _make_controller
+        controllers.append(make(env, layout, disks, channel, vcfg))
+    return ArraySystem(
+        env=env, config=config, controllers=controllers, spans=config.va_spans
+    )
 
 
 def _make_controller(env, layout, disks, channel, config: SystemConfig) -> ArrayController:

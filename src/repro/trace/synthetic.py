@@ -89,11 +89,41 @@ class SyntheticTraceConfig:
     hot_write_runs: int = 0
     hot_write_run_blocks: int = 16
     hot_write_weight: float = 0.0
+    # Per-VA address-space targeting (Heterogeneous Disk Arrays): the
+    # logical disks are partitioned into Virtual Arrays of ``va_disks``
+    # consecutive disks each, accesses split across VAs by
+    # ``va_weights`` (default: proportional to size), and writes are
+    # additionally skewed toward the hottest VAs by ``va_write_skew``
+    # (>1 concentrates small writes on the mirrored hot VA, <1 spreads
+    # them; 1 = writes follow reads).  Empty ``va_disks`` = legacy
+    # behaviour, bit-identical.
+    va_disks: tuple = ()
+    va_weights: tuple = ()
+    va_write_skew: float = 1.0
     seed: int = 12345
 
     def __post_init__(self) -> None:
         if self.ndisks < 1 or self.blocks_per_disk < 1 or self.n_requests < 1:
             raise ValueError("sizes must be positive")
+        if not isinstance(self.va_disks, tuple):
+            object.__setattr__(self, "va_disks", tuple(self.va_disks))
+        if not isinstance(self.va_weights, tuple):
+            object.__setattr__(self, "va_weights", tuple(self.va_weights))
+        if self.va_disks:
+            if any(int(d) < 1 for d in self.va_disks):
+                raise ValueError("va_disks entries must be >= 1")
+            if sum(self.va_disks) != self.ndisks:
+                raise ValueError(
+                    f"va_disks {self.va_disks} must sum to ndisks={self.ndisks}"
+                )
+            if self.va_weights and len(self.va_weights) != len(self.va_disks):
+                raise ValueError("va_weights must match va_disks in length")
+            if any(w <= 0 for w in self.va_weights):
+                raise ValueError("va_weights must be positive")
+            if self.va_write_skew <= 0:
+                raise ValueError("va_write_skew must be positive")
+        elif self.va_weights:
+            raise ValueError("va_weights requires va_disks")
         if self.duration_ms <= 0:
             raise ValueError("duration must be positive")
         for f in (
@@ -266,6 +296,34 @@ def _disk_cdf(cfg: SyntheticTraceConfig, rng: np.random.Generator) -> np.ndarray
     return np.cumsum(weights / weights.sum())
 
 
+def _va_disk_cdfs(
+    cfg: SyntheticTraceConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-VA targeted disk popularity: (read CDF, write CDF).
+
+    Each VA's slice of logical disks gets its own permuted Zipf profile
+    (the intra-VA skew of the legacy generator); the VA-level split
+    follows ``va_weights`` for reads and ``va_weights ** va_write_skew``
+    (renormalized) for writes — the hot/cold knob that concentrates
+    small writes on the mirrored VA.
+    """
+    weights = np.array(
+        cfg.va_weights if cfg.va_weights else cfg.va_disks, dtype=np.float64
+    )
+    read_share = weights / weights.sum()
+    skewed = read_share ** cfg.va_write_skew
+    write_share = skewed / skewed.sum()
+    per_va = []
+    for nv in cfg.va_disks:
+        ranks = np.arange(1, int(nv) + 1, dtype=np.float64)
+        zipf = ranks ** (-cfg.disk_zipf)
+        rng.shuffle(zipf)
+        per_va.append(zipf / zipf.sum())
+    read_p = np.concatenate([s * p for s, p in zip(read_share, per_va)])
+    write_p = np.concatenate([s * p for s, p in zip(write_share, per_va)])
+    return np.cumsum(read_p), np.cumsum(write_p)
+
+
 def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
     """Generate a :class:`~repro.trace.record.Trace` from *cfg*.
 
@@ -278,7 +336,10 @@ def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
     times = _arrival_times(cfg, rng)
     sizes = _request_sizes(cfg, rng)
     is_write = rng.random(n) < cfg.write_fraction
-    disk_cdf = _disk_cdf(cfg, rng)
+    if cfg.va_disks:
+        read_cdf, write_cdf = _va_disk_cdfs(cfg, rng)
+    else:
+        disk_cdf = _disk_cdf(cfg, rng)
 
     # Pre-drawn random streams for the address loop.
     u_mode = rng.random(n)  # rehit / sequential / fresh choice
@@ -310,7 +371,14 @@ def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
     rr_cap = cfg.recent_read_window
     rr_pos = 0
 
-    disks_of = np.searchsorted(disk_cdf, u_disk)
+    if cfg.va_disks:
+        disks_of = np.where(
+            is_write,
+            np.searchsorted(write_cdf, u_disk),
+            np.searchsorted(read_cdf, u_disk),
+        )
+    else:
+        disks_of = np.searchsorted(disk_cdf, u_disk)
 
     # The address loop indexes these streams once per request; a scalar
     # ndarray index allocates a numpy scalar each time, which dominates

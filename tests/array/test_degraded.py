@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.array.degraded import (
+from repro.failure.degraded import (
     DegradedMirrorController,
     DegradedParityController,
     RebuildProcess,

@@ -28,6 +28,7 @@ class TestRegistry:
             "ext-reliability",
             "ext-rebuild-rate",
             "ext-scrub",
+            "ext-hda",
         }
         assert set(EXPERIMENTS) == expected | extensions
 

@@ -1,0 +1,123 @@
+"""Properties of the pool-allocation kernel (:mod:`repro.layout.allocation`).
+
+The Hypothesis sweep asserts what every placement must satisfy
+regardless of policy — determinism, disjointness, per-VA disk counts,
+capacity feasibility — and the unit tests pin each policy's documented
+tie-breaking (declaration/pool order, hottest-per-spindle first,
+best-fit by capacity).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import AllocationError, POLICIES, PoolSlot, VADemand, allocate
+
+demands_st = st.lists(
+    st.builds(
+        VADemand,
+        ndisks=st.integers(1, 4),
+        capacity_blocks=st.integers(50, 200),
+        heat=st.floats(0.1, 5.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=4,
+)
+slots_st = st.lists(
+    st.builds(
+        PoolSlot,
+        capacity_blocks=st.integers(40, 250),
+        bandwidth=st.floats(0.5, 2.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=st.sampled_from(POLICIES), demands=demands_st, slots=slots_st)
+def test_placements_are_sound(policy, demands, slots):
+    try:
+        placements = allocate(policy, demands, slots)
+    except AllocationError:
+        return  # infeasibility is exercised by the unit tests below
+    # Deterministic: same inputs, same placement, always.
+    assert allocate(policy, demands, slots) == placements
+    # One placement per demand, each with exactly the demanded disks,
+    # reported in canonical (sorted) order.
+    assert len(placements) == len(demands)
+    for demand, placed in zip(demands, placements):
+        assert len(placed) == demand.ndisks
+        assert placed == tuple(sorted(placed))
+        for si in placed:
+            assert slots[si].capacity_blocks >= demand.capacity_blocks
+    # No pool slot is handed to two VAs.
+    used = [si for placed in placements for si in placed]
+    assert len(used) == len(set(used))
+    assert all(0 <= si < len(slots) for si in used)
+
+
+class TestPolicies:
+    def test_first_fit_takes_pool_order_regardless_of_bandwidth(self):
+        slots = [PoolSlot(100, 1.0), PoolSlot(100, 9.0), PoolSlot(100, 5.0)]
+        [placed] = allocate("first_fit", [VADemand(2, 100)], slots)
+        assert placed == (0, 1)
+
+    def test_bandwidth_prefers_fast_slots(self):
+        slots = [PoolSlot(100, 1.0), PoolSlot(100, 5.0), PoolSlot(100, 2.0)]
+        [placed] = allocate("bandwidth", [VADemand(2, 100)], slots)
+        assert placed == (1, 2)
+
+    def test_bandwidth_places_hottest_per_spindle_first(self):
+        # Heat per spindle: hot = 4/2 = 2.0, cold = 1/2 = 0.5.
+        cold = VADemand(2, 100, heat=1.0)
+        hot = VADemand(2, 100, heat=4.0)
+        slots = [PoolSlot(100, 1.0)] * 2 + [PoolSlot(100, 9.0)] * 2
+        placements = allocate("bandwidth", [cold, hot], slots)
+        assert placements[1] == (2, 3)  # hot VA gets the fast slots
+        assert placements[0] == (0, 1)
+
+    def test_capacity_best_fits_smallest_slot(self):
+        big = VADemand(1, 200)
+        small = VADemand(1, 50)
+        slots = [PoolSlot(250, 1.0), PoolSlot(60, 1.0), PoolSlot(210, 1.0)]
+        placements = allocate("capacity", [small, big], slots)
+        assert placements[1] == (2,)  # big demand first, tightest fit
+        assert placements[0] == (1,)  # small demand best-fits the 60
+
+    def test_declaration_order_is_preserved_in_the_result(self):
+        # Whatever internal order a policy visits VAs in, the result
+        # lines up with the demands list.
+        demands = [VADemand(1, 50, heat=1.0), VADemand(1, 200, heat=9.0)]
+        slots = [PoolSlot(60, 2.0), PoolSlot(250, 1.0)]
+        for policy in POLICIES:
+            placements = allocate(policy, demands, slots)
+            assert slots[placements[1][0]].capacity_blocks >= 200
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            allocate("magic", [VADemand(1, 50)], [PoolSlot(100, 1.0)])
+
+
+class TestInfeasible:
+    def test_too_few_slots(self):
+        with pytest.raises(AllocationError):
+            allocate("first_fit", [VADemand(3, 50)], [PoolSlot(100, 1.0)] * 2)
+
+    def test_capacity_unsatisfiable(self):
+        with pytest.raises(AllocationError, match="slots fit"):
+            allocate("first_fit", [VADemand(1, 500)], [PoolSlot(100, 1.0)] * 4)
+
+    def test_feasible_only_jointly_infeasible(self):
+        # Each VA fits alone; together they exceed the pool.
+        demands = [VADemand(2, 50), VADemand(2, 50)]
+        with pytest.raises(AllocationError):
+            allocate("first_fit", demands, [PoolSlot(100, 1.0)] * 3)
+
+    def test_demand_validation(self):
+        with pytest.raises(ValueError):
+            VADemand(0, 50)
+        with pytest.raises(ValueError):
+            VADemand(1, 0)
+        with pytest.raises(ValueError):
+            VADemand(1, 50, heat=0.0)

@@ -1,0 +1,59 @@
+"""DES vs analytic cross-validation for a heterogeneous system.
+
+The acceptance bar for the analytic HDA extension: on the reference
+mirror+RAID5 two-VA configuration under a Poisson workload, the
+analytic backend's mean response — overall and per VA — must sit inside
+the same tolerance bands the homogeneous harness enforces
+(:mod:`repro.analytic.validation`), and its reconstructed p95 inside
+the documented looser HDA band.
+"""
+
+import pytest
+
+from repro.analytic import HDA_P95_TOLERANCE, hda_tolerance, tolerance_for
+from repro.sim import run_trace
+
+from tests.hda.util import hda_config, poisson_trace
+
+#: Mid-load reference point: ~4 k requests over the 4-logical-disk rig.
+RATE_PER_MS = 0.02
+
+
+@pytest.fixture(scope="module")
+def both():
+    cfg = hda_config()
+    trace = poisson_trace(RATE_PER_MS)
+    des = run_trace(cfg, trace, warmup_fraction=0.1, keep_samples=True)
+    ana = run_trace(cfg, trace, warmup_fraction=0.1, backend="analytic")
+    return des, ana
+
+
+def _rel_err(analytic: float, des: float) -> float:
+    return abs(analytic - des) / des
+
+
+def test_overall_mean_within_band(both):
+    des, ana = both
+    tol = hda_tolerance(("mirror", "raid5"))
+    assert _rel_err(ana.mean_response_ms, des.mean_response_ms) <= tol
+
+
+@pytest.mark.parametrize("vi,org", [(0, "mirror"), (1, "raid5")])
+def test_per_va_mean_within_member_band(both, vi, org):
+    des, ana = both
+    assert des.va_response[vi].count > 100
+    assert ana.va_response[vi].count == des.va_response[vi].count
+    err = _rel_err(ana.va_response[vi].mean, des.va_response[vi].mean)
+    assert err <= tolerance_for(org)
+
+
+def test_p95_within_hda_band(both):
+    des, ana = both
+    assert _rel_err(ana.p95_response_ms, des.p95_response_ms) <= HDA_P95_TOLERANCE
+
+
+def test_per_disk_class_shapes_match(both):
+    des, ana = both
+    assert [len(a.disk_utilization) for a in ana.arrays] \
+        == [len(a.disk_utilization) for a in des.arrays]
+    assert ana.organization == des.organization == "hda(mirror+raid5)"

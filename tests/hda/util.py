@@ -1,0 +1,46 @@
+"""Shared builders for the heterogeneous-array (HDA) tests.
+
+The standard rig is the smallest interesting HDA: a hot mirrored VA on
+half-capacity disks plus a cold RAID5 VA, sized so the combined logical
+space is exactly 4 stock logical disks (so one Poisson trace drives
+both VAs and the whole DES run stays well under a second).
+"""
+
+import numpy as np
+
+from repro.sim import Organization, SystemConfig, VAConfig
+from repro.trace import TRACE_DTYPE, Trace
+
+#: Stock blocks per logical disk in the rig (divisible by every VA n+1).
+BPD = 1980
+#: Mirror-VA blocks per disk: half a stock disk, so ``n`` mirrored
+#: pairs carry ``n`` halves = ``n/2`` logical disks of data.
+HOT_BPD = 990
+
+
+def hda_vas(mirror_n=2, raid5_n=3, heat=3.0):
+    """(hot mirror, cold RAID5) — spans 1980 + 5940 = 4 x BPD blocks."""
+    return (
+        VAConfig(Organization.MIRROR, mirror_n, name="hot",
+                 blocks_per_disk=HOT_BPD, heat=heat),
+        VAConfig(Organization.RAID5, raid5_n, name="cold"),
+    )
+
+
+def hda_config(**kw):
+    kw.setdefault("vas", hda_vas())
+    kw.setdefault("blocks_per_disk", BPD)
+    kw.setdefault("organization", Organization.BASE)
+    return SystemConfig(**kw)
+
+
+def poisson_trace(rate_per_ms, ndisks=4, bpd=BPD, seed=42, write_frac=0.3,
+                  n=4000, nblocks=(1,)):
+    """Seeded Poisson workload (uniform addresses, exponential gaps)."""
+    rng = np.random.default_rng(seed)
+    records = np.zeros(n, dtype=TRACE_DTYPE)
+    records["time"] = np.cumsum(rng.exponential(1.0 / rate_per_ms, size=n))
+    records["lblock"] = rng.integers(0, ndisks * bpd - max(nblocks), size=n)
+    records["nblocks"] = rng.choice(nblocks, size=n)
+    records["is_write"] = rng.random(n) < write_frac
+    return Trace(records, ndisks, bpd, name=f"hda-poisson-{rate_per_ms}-{seed}")

@@ -50,6 +50,16 @@ def test_sync_policies():
 
 
 @pytest.mark.slow
+def test_hda_allocation():
+    out = run_example("hda_allocation.py", "--scale", "0.05")
+    assert "first_fit" in out
+    assert "bandwidth" in out
+    assert "capacity" in out
+    assert "hot: 4/4 fast" in out  # bandwidth/capacity claim the fast disks
+    assert "hot: 0/4 fast" in out  # first-fit strands them
+
+
+@pytest.mark.slow
 def test_trace_anatomy(tmp_path):
     out = run_example(
         "trace_anatomy.py", "--scale", "0.005", "--export-dir", str(tmp_path)
