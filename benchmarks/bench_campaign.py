@@ -3,16 +3,20 @@
 Times a small experiment campaign serially and with ``--jobs N``
 workers (verifying the outputs are identical along the way), plus a set
 of kernel microbenchmarks covering the DES hot path: event throughput,
-seek-time LUT vs. closed-form, and synthetic trace generation.
+seek-time LUT vs. closed-form, synthetic trace generation, the
+request-plan cache (on vs off, with an identical-results check), and
+the streaming trace pipeline (a million-request run at O(chunk)
+resident trace memory).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py \
-        --scale 0.02 --jobs 2 --out BENCH_5.json
+        --scale 0.02 --jobs 2 --out BENCH_10.json
 
 Not collected by pytest (no ``test_`` prefix) — this is a standalone
-script whose JSON output is committed as ``BENCH_5.json`` and uploaded
-as a CI artifact at a tiny scale.
+script whose JSON output is committed as ``BENCH_10.json`` (earlier
+revisions: ``BENCH_5.json``) and uploaded as a CI artifact at a tiny
+scale.
 """
 
 from __future__ import annotations
@@ -67,8 +71,16 @@ def bench_campaign(experiments, scale, jobs):
     }
 
 
-def bench_event_throughput(n_events=200_000):
-    """Schedule/step throughput of the bare DES kernel."""
+def bench_event_throughput(n_events=200_000, repeats=5):
+    """Schedule/step throughput of the bare DES kernel.
+
+    Reports the fastest of ``repeats`` runs with the garbage collector
+    paused during timing (the same noise-floor methodology as
+    :mod:`timeit`): a single draw on a shared host mixes scheduler
+    preemption and interpreter warm-up into the number.
+    """
+    import gc
+
     from repro.des import Environment
 
     def chain(env, remaining):
@@ -76,19 +88,28 @@ def bench_event_throughput(n_events=200_000):
             remaining -= 1
             yield env.timeout(1.0)
 
-    env = Environment()
-    # 8 interleaved timeout chains: exercises heap ordering, not just
-    # FIFO pop.
     per = n_events // 8
-    for _ in range(8):
-        env.process(chain(env, per))
-    t0 = time.perf_counter()
-    env.run()
-    elapsed = time.perf_counter() - t0
+    best = float("inf")
+    for _ in range(repeats):
+        env = Environment()
+        # 8 interleaved timeout chains: exercises heap ordering, not
+        # just FIFO pop.
+        for _ in range(8):
+            env.process(chain(env, per))
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            env.run()
+            best = min(best, time.perf_counter() - t0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
     return {
         "events": per * 8,
-        "elapsed_s": round(elapsed, 4),
-        "events_per_s": round(per * 8 / elapsed),
+        "repeats": repeats,
+        "elapsed_s": round(best, 4),
+        "events_per_s": round(per * 8 / best),
     }
 
 
@@ -132,6 +153,125 @@ def bench_trace_gen(scale=0.01):
     }
 
 
+def _result_fingerprint(result) -> tuple:
+    """Comparable digest of a RunResult (ndarrays defeat dataclass ==)."""
+    return (
+        result.simulated_ms,
+        result.events,
+        result.response.count,
+        result.response.mean,
+        result.read_response.mean,
+        result.write_response.mean,
+        tuple(int(x) for x in result.per_disk_accesses),
+    )
+
+
+def bench_plan_cache(scale=1.0):
+    """run_trace wall-clock with the request-plan cache on vs off.
+
+    RAID5 small writes exercise the richest plans (RMW groups with
+    read/parity runs), so that's where memoizing the logical→physical
+    decomposition pays the most.  The off-run doubles as a correctness
+    gate: both runs must produce bit-identical results.
+    """
+    from repro.sim import SystemConfig, run_trace
+    from repro.sim.config import Organization
+    from repro.trace.synthetic import generate_trace, trace2_config
+
+    trace = generate_trace(trace2_config(scale=scale))
+    config = SystemConfig(
+        organization=Organization.RAID5,
+        blocks_per_disk=trace.blocks_per_disk,
+        n=10,
+    )
+
+    from dataclasses import replace
+
+    run_trace(config, trace)  # warm (imports, seek LUT, trace pages)
+
+    t0 = time.perf_counter()
+    on = run_trace(config, trace)
+    on_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    off = run_trace(replace(config, plan_cache=False), trace)
+    off_s = time.perf_counter() - t0
+
+    identical = _result_fingerprint(on) == _result_fingerprint(off)
+    if not identical:
+        print("ERROR: plan-cache run differs from uncached run", file=sys.stderr)
+    hits = sum(a.plan_hits for a in on.arrays)
+    misses = sum(a.plan_misses for a in on.arrays)
+    return {
+        "requests": len(trace),
+        "organization": "raid5",
+        "cached_s": round(on_s, 4),
+        "uncached_s": round(off_s, 4),
+        "speedup": round(off_s / on_s, 3) if on_s else None,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / (hits + misses), 4) if hits + misses else None,
+        "outputs_identical": identical,
+    }
+
+
+def bench_streaming(n_requests=1_000_000, chunk_requests=65536):
+    """Million-request run fed from a streaming trace source.
+
+    Measures end-to-end simulation throughput plus the tracemalloc peak
+    while draining the generator — the evidence that trace memory stays
+    O(chunk) instead of O(n_requests).  ``bounded`` asserts the peak is
+    under an absolute budget proportional to the chunk size — 512 bytes
+    per chunked request covers the generator's scratch columns plus the
+    address loop's Python-list expansion (~32 bytes per boxed float) —
+    and independent of ``n_requests``: a materialized million-request
+    run would hold the full record array (and its list expansions) at
+    once and keeps growing with the trace.
+    """
+    import tracemalloc
+
+    from repro.sim import SystemConfig, run_trace
+    from repro.sim.config import Organization
+    from repro.trace.record import TRACE_DTYPE
+    from repro.trace.synthetic import TraceStream, trace2_config
+
+    cfg = trace2_config(scale=n_requests / 69_539)  # rate-preserving
+    stream = TraceStream(cfg, chunk_requests=chunk_requests)
+    full_trace_mb = len(stream) * TRACE_DTYPE.itemsize / 1e6
+
+    tracemalloc.start()
+    for _ in stream.chunks():
+        pass
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_trace_mb = peak / 1e6
+    budget_mb = 512 * chunk_requests / 1e6
+    bounded = peak_trace_mb < budget_mb
+
+    config = SystemConfig(
+        organization=Organization.BASE,
+        blocks_per_disk=stream.blocks_per_disk,
+        n=10,
+    )
+    t0 = time.perf_counter()
+    result = run_trace(config, stream, keep_samples=False)
+    elapsed = time.perf_counter() - t0
+
+    return {
+        "requests": len(stream),
+        "chunk_requests": chunk_requests,
+        "organization": "base",
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(len(stream) / elapsed),
+        "events": result.events,
+        "events_per_s": round(result.events / elapsed),
+        "peak_trace_mb": round(peak_trace_mb, 3),
+        "budget_mb": round(budget_mb, 3),
+        "full_trace_mb": round(full_trace_mb, 3),
+        "bounded": bounded,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.02,
@@ -140,23 +280,42 @@ def main(argv=None):
                         help="parallel worker count (default 2)")
     parser.add_argument("--experiments", nargs="*", default=DEFAULT_EXPERIMENTS,
                         help="experiment ids for the campaign benchmark")
-    parser.add_argument("--out", default="BENCH_5.json",
-                        help="output JSON path (default BENCH_5.json)")
+    parser.add_argument("--out", default="BENCH_10.json",
+                        help="output JSON path (default BENCH_10.json)")
+    parser.add_argument("--streaming-requests", type=int, default=1_000_000,
+                        help="streaming-bench request count (default 1e6; "
+                             "CI smoke uses a small value)")
+    parser.add_argument("--plan-cache-scale", type=float, default=1.0,
+                        help="trace scale for the plan-cache benchmark "
+                             "(default 1.0 = the full Trace-2 stream)")
     args = parser.parse_args(argv)
 
     import os
 
     cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    # The kernel microbenchmark is the most contention-sensitive number
+    # on a shared host: each call is over in ~1s, so a single draw
+    # rides whatever scheduling weather that second had.  Sample it at
+    # the start, middle, and end of the run — minutes apart — and keep
+    # the fastest draw (the same noise-floor rationale as the per-call
+    # best-of-five, stretched across the run).
     report = {
         "benchmark": "campaign+kernel",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cores": cores,
-        "campaign": bench_campaign(args.experiments, args.scale, args.jobs),
-        "event_throughput": bench_event_throughput(),
-        "seek_time": bench_seek(),
-        "trace_generation": bench_trace_gen(),
     }
+    draws = [bench_event_throughput()]
+    report["campaign"] = bench_campaign(args.experiments, args.scale, args.jobs)
+    report["seek_time"] = bench_seek()
+    draws.append(bench_event_throughput())
+    report["trace_generation"] = bench_trace_gen()
+    report["plan_cache"] = bench_plan_cache(scale=args.plan_cache_scale)
+    report["streaming"] = bench_streaming(n_requests=args.streaming_requests)
+    draws.append(bench_event_throughput())
+    best = min(draws, key=lambda d: d["elapsed_s"])
+    best["repeats"] = sum(d["repeats"] for d in draws)
+    report["event_throughput"] = best
     # Persist in the normalized repro-bench/1 schema (raw report kept
     # inside) so the file feeds straight into `python -m repro.bench
     # compare` without the legacy adapter.
@@ -167,7 +326,12 @@ def main(argv=None):
         fh.write("\n")
     print(json.dumps(report, indent=2))
     print(f"wrote {args.out}", file=sys.stderr)
-    return 0 if report["campaign"]["outputs_identical"] else 1
+    ok = (
+        report["campaign"]["outputs_identical"]
+        and report["plan_cache"]["outputs_identical"]
+        and report["streaming"]["bounded"]
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,226 @@
+"""Request-plan memoization for the array controllers.
+
+Per-request logical→physical decomposition is structurally repetitive:
+every layout in this package is periodic in the logical address (see
+:meth:`repro.layout.common.Layout.plan_period`), so a request's physical
+plan depends only on its offset *within* one period and its size, not on
+its absolute address.  The :class:`PlanCache` exploits that: it computes
+each plan once at the request's period residue and translates it — a
+disk shift modulo the array width plus a physical-block shift — for
+every other period.
+
+Correctness relies on two contracts:
+
+* the layout's ``plan_period()`` symmetry (each layout proves its own in
+  its override), and
+* plan objects (:class:`~repro.layout.common.Run` lists and
+  :class:`~repro.layout.common.WriteGroup` s) being treated as immutable
+  by every consumer — controllers, degraded paths and probes only
+  iterate them, so translated copies can share structure and zero-shift
+  requests can share the template outright.
+
+The cache is *failure-epoch aware* in the simplest possible way: any
+failure-domain transition (disk death, spare arrival, rebuild
+completion) calls :meth:`PlanCache.invalidate`, which bumps the epoch
+and drops every memoized plan.  Plans themselves are failure-independent
+(degraded handling happens at execution time, not planning time), so
+this is insurance against future layouts whose planning *does* consult
+failure state — and it keeps the cache's keying equivalent to the
+``(org, offset % period, size, degraded-epoch)`` scheme without storing
+dead epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.layout.common import Layout, PhysicalAddress, Run, WriteGroup
+
+__all__ = ["PlanCache"]
+
+#: Entries per internal table before it is wholesale dropped.  Periods
+#: are tens of thousands of blocks at the default geometry, so OLTP
+#: workloads stay far below this; the cap only bounds adversarial
+#: request mixes.
+_MAX_ENTRIES = 131072
+
+
+class PlanCache:
+    """Memoizes read runs, write plans and per-block mappings.
+
+    Parameters
+    ----------
+    layout:
+        The array's layout.  If its :meth:`~repro.layout.common.Layout.plan_period`
+        returns ``None`` the cache degrades to a transparent pass-through.
+    rmw_threshold:
+        Baked into cached write plans (it is constant per run).
+    enabled:
+        ``False`` forces pass-through mode (the ``plan_cache`` config knob).
+    """
+
+    __slots__ = (
+        "layout",
+        "rmw_threshold",
+        "enabled",
+        "epoch",
+        "hits",
+        "misses",
+        "_period",
+        "_disk_step",
+        "_pblock_step",
+        "_ndisks",
+        "_reads",
+        "_writes",
+        "_maps",
+        "_parity",
+    )
+
+    def __init__(self, layout: Layout, rmw_threshold: float, enabled: bool = True) -> None:
+        self.layout = layout
+        self.rmw_threshold = rmw_threshold
+        period = layout.plan_period() if enabled else None
+        self.enabled = period is not None
+        if period is not None:
+            self._period, self._disk_step, self._pblock_step = period
+        else:
+            self._period = self._disk_step = self._pblock_step = 0
+        self._ndisks = layout.ndisks
+        #: Monotonic failure-domain epoch; bumped by :meth:`invalidate`.
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self._reads: dict[tuple[int, int], list[Run]] = {}
+        self._writes: dict[tuple[int, int], list[WriteGroup]] = {}
+        self._maps: dict[int, PhysicalAddress] = {}
+        self._parity: dict[int, Optional[PhysicalAddress]] = {}
+
+    # -- plan translation ---------------------------------------------------
+    def _shift_runs(self, runs: list[Run], q: int) -> list[Run]:
+        """Translate template *runs* forward by *q* periods."""
+        dshift = q * self._disk_step
+        pshift = q * self._pblock_step
+        if dshift:
+            ndisks = self._ndisks
+            return [
+                Run((r.disk + dshift) % ndisks, r.start + pshift, r.nblocks)
+                for r in runs
+            ]
+        return [Run(r.disk, r.start + pshift, r.nblocks) for r in runs]
+
+    def _shift_group(self, group: WriteGroup, q: int) -> WriteGroup:
+        return WriteGroup(
+            mode=group.mode,
+            data_runs=self._shift_runs(group.data_runs, q),
+            read_runs=self._shift_runs(group.read_runs, q),
+            parity_runs=self._shift_runs(group.parity_runs, q),
+        )
+
+    # -- request planning ---------------------------------------------------
+    def read_runs(self, lstart: int, nblocks: int) -> list[Run]:
+        """Memoizing :meth:`~repro.layout.common.Layout.read_runs`."""
+        if not self.enabled:
+            return self.layout.read_runs(lstart, nblocks)
+        q, residue = divmod(lstart, self._period)
+        key = (residue, nblocks)
+        template = self._reads.get(key)
+        if template is None:
+            self.misses += 1
+            if len(self._reads) >= _MAX_ENTRIES:
+                self._reads.clear()
+            # residue <= lstart, so the residue request is always in range.
+            template = self.layout.read_runs(residue, nblocks)
+            self._reads[key] = template
+        else:
+            self.hits += 1
+        if q == 0:
+            return template
+        return self._shift_runs(template, q)
+
+    def write_plan(self, lstart: int, nblocks: int) -> list[WriteGroup]:
+        """Memoizing :meth:`~repro.layout.common.Layout.write_plan`."""
+        if not self.enabled:
+            return self.layout.write_plan(lstart, nblocks, self.rmw_threshold)
+        q, residue = divmod(lstart, self._period)
+        key = (residue, nblocks)
+        template = self._writes.get(key)
+        if template is None:
+            self.misses += 1
+            if len(self._writes) >= _MAX_ENTRIES:
+                self._writes.clear()
+            template = self.layout.write_plan(residue, nblocks, self.rmw_threshold)
+            self._writes[key] = template
+        else:
+            self.hits += 1
+        if q == 0:
+            return template
+        return [self._shift_group(g, q) for g in template]
+
+    # -- per-block mapping --------------------------------------------------
+    def map_block(self, lblock: int) -> PhysicalAddress:
+        """Memoizing :meth:`~repro.layout.common.Layout.map_block`."""
+        if not self.enabled:
+            return self.layout.map_block(lblock)
+        q, residue = divmod(lblock, self._period)
+        addr = self._maps.get(residue)
+        if addr is None:
+            self.misses += 1
+            if len(self._maps) >= _MAX_ENTRIES:
+                self._maps.clear()
+            addr = self.layout.map_block(residue)
+            self._maps[residue] = addr
+        else:
+            self.hits += 1
+        if q == 0:
+            return addr
+        return PhysicalAddress(
+            (addr.disk + q * self._disk_step) % self._ndisks,
+            addr.block + q * self._pblock_step,
+        )
+
+    def parity_of(self, lblock: int) -> Optional[PhysicalAddress]:
+        """Memoizing :meth:`~repro.layout.common.Layout.parity_of`."""
+        if not self.enabled:
+            return self.layout.parity_of(lblock)
+        q, residue = divmod(lblock, self._period)
+        if residue in self._parity:
+            self.hits += 1
+            addr = self._parity[residue]
+        else:
+            self.misses += 1
+            if len(self._parity) >= _MAX_ENTRIES:
+                self._parity.clear()
+            addr = self.layout.parity_of(residue)
+            self._parity[residue] = addr
+        if addr is None or q == 0:
+            return addr
+        return PhysicalAddress(
+            (addr.disk + q * self._disk_step) % self._ndisks,
+            addr.block + q * self._pblock_step,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop all memoized plans and advance the failure-domain epoch."""
+        self.epoch += 1
+        self._reads.clear()
+        self._writes.clear()
+        self._maps.clear()
+        self._parity.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counters for benchmarks and tests."""
+        return {
+            "enabled": self.enabled,
+            "epoch": self.epoch,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": (
+                len(self._reads) + len(self._writes)
+                + len(self._maps) + len(self._parity)
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "enabled" if self.enabled else "pass-through"
+        return f"<PlanCache {state} hits={self.hits} misses={self.misses}>"

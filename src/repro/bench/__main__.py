@@ -6,6 +6,8 @@ Usage::
         [--threshold 0.2] [--advisory] [--json out.json]
     python -m repro.bench show campaign_manifest.jsonl [--slowest N]
     python -m repro.bench normalize BENCH_5.json [--out PATH]
+    python -m repro.bench profile fig8 --backend des \\
+        [--scale 0.05] [--top 25] [--dump out.pstats]
 
 ``compare`` treats the files as a trajectory (oldest first, the last
 file is the candidate), prints the per-metric table and exits
@@ -18,6 +20,11 @@ file is the candidate), prints the per-metric table and exits
 
 ``show`` drills into a campaign manifest written by
 ``python -m repro.experiments ... --manifest``.
+
+``profile`` runs one experiment under :mod:`cProfile` and prints the
+hottest functions by cumulative and internal time — the first stop when
+a bench trajectory shows a throughput drop and you need to know *where*
+the cycles went.
 """
 
 from __future__ import annotations
@@ -185,6 +192,48 @@ def cmd_normalize(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    import time
+
+    from repro.experiments.parallel import run_campaign
+    from repro.experiments.registry import get_experiment
+
+    try:
+        exp = get_experiment(args.experiment)
+    except KeyError:
+        print(f"unknown experiment id: {args.experiment!r}", file=sys.stderr)
+        return EXIT_SCHEMA
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    try:
+        run_campaign([exp.exp_id], scale=args.scale, jobs=1, backend=args.backend)
+    finally:
+        profiler.disable()
+    elapsed = time.perf_counter() - t0
+
+    print(
+        f"profiled {exp.exp_id} (backend={args.backend}, scale={args.scale:g}): "
+        f"{elapsed:.2f}s wall"
+    )
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    for sort_key, title in (
+        ("cumulative", "by cumulative time (callers and everything under them)"),
+        ("tottime", "by internal time (the hot functions themselves)"),
+    ):
+        print(f"-- top {args.top} {title}")
+        stats.sort_stats(sort_key).print_stats(args.top)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"wrote {args.dump} (load with pstats or snakeviz)")
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -223,6 +272,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_norm.add_argument("file", help="bench JSON file (any readable shape)")
     p_norm.add_argument("--out", metavar="PATH", help="write here instead of in place")
     p_norm.set_defaults(func=cmd_normalize)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile one experiment and print the hot functions"
+    )
+    p_prof.add_argument("experiment", help="experiment id (e.g. fig8)")
+    p_prof.add_argument(
+        "--backend",
+        choices=("des", "analytic"),
+        default="des",
+        help="simulation backend to profile (default des)",
+    )
+    p_prof.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="trace scale for the profiled run (default 0.05)",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=25, help="rows per table (default 25)"
+    )
+    p_prof.add_argument(
+        "--dump", metavar="PATH", help="also write raw pstats data here"
+    )
+    p_prof.set_defaults(func=cmd_profile)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -20,6 +20,11 @@ __all__ = ["Environment", "EmptySchedule"]
 #: Signature of an event observer: ``hook(time, event)``.
 EventHook = Callable[[float, Event], None]
 
+#: Upper bound on recycled :class:`Timeout` objects kept per environment.
+#: Steady state needs about one per concurrently sleeping process; the cap
+#: only bounds pathological churn.
+_TIMEOUT_POOL_CAP = 1024
+
 
 class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
@@ -36,6 +41,15 @@ class Environment:
         kernel itself is unit-agnostic.
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_active_proc",
+        "_event_hooks",
+        "_timeout_pool",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
@@ -45,6 +59,12 @@ class Environment:
         # processed event.  ``None`` (the default) keeps the hot path to
         # a single identity check per step.
         self._event_hooks: Optional[list[EventHook]] = None
+        # Freelist of processed fast-lane timeouts.  Only timeouts whose
+        # sole consumer was a process parked in the ``_proc`` slot are
+        # recycled — anything with a callback list entry (conditions,
+        # ``run(until=...)``, extra waiters) may still be referenced by
+        # its subscribers and is left to the garbage collector.
+        self._timeout_pool: list[Timeout] = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -97,6 +117,10 @@ class Environment:
         event failed and no handler defused the failure, the exception is
         re-raised here so that programming errors inside processes surface
         instead of being swallowed.
+
+        The dispatch body is intentionally duplicated inside the
+        :meth:`run` hot loops; any semantic change here must be mirrored
+        there (the kernel test-suite pins the shared behavior).
         """
         try:
             self._now, _, event = heappop(self._queue)
@@ -106,6 +130,24 @@ class Environment:
         if self._event_hooks is not None:
             for hook in self._event_hooks:
                 hook(self._now, event)
+
+        if type(event) is Timeout:
+            proc = event._proc
+            callbacks = event.callbacks
+            event.callbacks = None
+            if proc is not None:
+                # The fast-lane slot is semantically ``callbacks[0]``.
+                event._proc = None
+                proc._resume(event)
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                elif len(self._timeout_pool) < _TIMEOUT_POOL_CAP:
+                    self._timeout_pool.append(event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            return  # timeouts always succeed; no failure to propagate
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
@@ -131,27 +173,72 @@ class Environment:
             an :class:`Event`
                 run until that event has been processed and return its
                 value (re-raising its exception if it failed).
-        """
-        if until is None:
-            try:
-                while True:
-                    self.step()
-            except EmptySchedule:
-                return None
 
-        if isinstance(until, Event):
-            stop = until
-            if stop.callbacks is None:  # already processed
-                return stop.value
-            flag: list[bool] = []
-            stop.callbacks.append(lambda _e: flag.append(True))
+        The ``None`` and :class:`Event` forms inline the pop-and-dispatch
+        body of :meth:`step` (saving a method call and re-binding per
+        event); pop order and callback order are identical to repeated
+        :meth:`step` calls.
+        """
+        if until is None or isinstance(until, Event):
+            if until is None:
+                flag: list[bool] = []
+                stop = None
+            else:
+                stop = until
+                if stop.callbacks is None:  # already processed
+                    return stop.value
+                flag = []
+                stop.callbacks.append(lambda _e: flag.append(True))
+
+            # Hot loop: local bindings, inlined dispatch.  ``resume`` is
+            # the unbound method, called as ``resume(proc, event)`` to
+            # avoid allocating a bound method per fast-lane event.
+            queue = self._queue
+            pool = self._timeout_pool
+            pop = heappop
+            timeout_t = Timeout
+            resume = Process._resume
             while not flag:
-                try:
-                    self.step()
-                except EmptySchedule:
+                if not queue:
+                    if stop is None:
+                        return None
                     raise RuntimeError(
                         f"no more events; {stop!r} never triggered"
                     ) from None
+                self._now, _, event = pop(queue)
+
+                hooks = self._event_hooks
+                if hooks is not None:
+                    for hook in hooks:
+                        hook(self._now, event)
+
+                if type(event) is timeout_t:
+                    proc = event._proc
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if proc is not None:
+                        event._proc = None
+                        resume(proc, event)
+                        if callbacks:
+                            for callback in callbacks:
+                                callback(event)
+                        elif len(pool) < _TIMEOUT_POOL_CAP:
+                            pool.append(event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    continue
+
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._exc
+                    assert exc is not None
+                    raise exc
+
+            assert stop is not None
             return stop.value
 
         at = float(until)
@@ -168,7 +255,25 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` triggering ``delay`` from now."""
+        """Create a :class:`Timeout` triggering ``delay`` from now.
+
+        Reuses a recycled timeout from the freelist when one is
+        available, skipping the constructor chain on the dominant
+        sleep-resume path.  Recycled objects are indistinguishable from
+        fresh ones: ``_ok``/``_exc``/``_defused``/``_proc`` are invariant
+        across a fast-lane cycle, so only the outcome fields are reset.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            event = pool.pop()
+            event.delay = delay
+            event._value = value
+            event.callbacks = []
+            self._seq += 1
+            heappush(self._queue, (self._now + delay, self._seq, event))
+            return event
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:

@@ -148,9 +148,19 @@ class Timeout(Event):
 
     The timeout is scheduled at construction time, so creating one is
     enough; there is no separate activation step.
+
+    Timeouts carry a single-slot fast lane (``_proc``): when exactly one
+    process yields a pending timeout that has no other callbacks, the
+    process parks itself in ``_proc`` instead of appending a bound
+    ``_resume`` to the callback list.  The environment resumes ``_proc``
+    first when the timeout fires — semantically the slot is
+    ``callbacks[0]``, so dispatch order is unchanged — and may then
+    recycle the object through its freelist.  Any second waiter, explicit
+    callback or condition falls back to the ordinary list (and inhibits
+    recycling).
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_proc")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -159,6 +169,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
+        self._proc = None
         env.schedule(self, delay)
 
     @property

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.des.events import Event, Interrupt, PENDING
+from repro.des.events import Event, Interrupt, PENDING, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.environment import Environment
@@ -28,13 +28,15 @@ class Process(Event):
     synchronously inside the constructor).
     """
 
-    __slots__ = ("_generator", "_target", "name", "parent")
+    __slots__ = ("_generator", "_send", "_target", "name", "parent")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Pre-bound send(): one attribute hop instead of two per resume.
+        self._send = generator.send
         self.name = getattr(generator, "__name__", "process")
         #: The process that was active when this one was spawned (``None``
         #: for processes created outside any process, e.g. at build time).
@@ -76,12 +78,17 @@ class Process(Event):
         interrupt_ev._exc = Interrupt(cause)
         interrupt_ev._defused = True
         # Detach from the current target so a late trigger does not resume
-        # the process twice.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+        # the process twice.  A timeout holding us in its fast-lane slot is
+        # cleared the same way a list waiter would be removed.
+        target = self._target
+        if target is not None:
+            if type(target) is Timeout and target._proc is self:
+                target._proc = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
         self._target = None
         interrupt_ev.callbacks = [self._resume]
         self.env.schedule(interrupt_ev)
@@ -89,11 +96,12 @@ class Process(Event):
     # -- machinery ---------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with *event*'s outcome."""
-        self.env._active_proc = self
+        env = self.env
+        env._active_proc = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = self._send(event._value)
                 else:
                     # The process handles (or propagates) the failure.
                     event._defused = True
@@ -104,15 +112,32 @@ class Process(Event):
                 self._target = None
                 self._ok = True
                 self._value = stop.value
-                self.env.schedule(self)
+                env.schedule(self)
                 break
             except BaseException as error:
                 self._target = None
                 self._ok = False
                 self._exc = error
                 self._defused = False
-                self.env.schedule(self)
+                env.schedule(self)
                 break
+
+            # The dominant sleep-resume pattern — yielding a fresh pending
+            # timeout nobody else waits on — parks this process in the
+            # timeout's fast-lane slot, skipping the bound-method
+            # allocation and list append of the generic path below.
+            if type(next_event) is Timeout:
+                cbs = next_event.callbacks
+                if cbs is not None:
+                    if next_event._proc is None and not cbs:
+                        next_event._proc = self
+                    else:
+                        cbs.append(self._resume)
+                    self._target = next_event
+                    break
+                # Already processed: continue synchronously.
+                event = next_event
+                continue
 
             if not isinstance(next_event, Event):
                 error = RuntimeError(
@@ -121,7 +146,7 @@ class Process(Event):
                 self._target = None
                 self._ok = False
                 self._exc = error
-                self.env.schedule(self)
+                env.schedule(self)
                 break
 
             if next_event.callbacks is not None:
@@ -133,7 +158,7 @@ class Process(Event):
             # Already processed: continue synchronously with its outcome.
             event = next_event
 
-        self.env._active_proc = None
+        env._active_proc = None
 
     def __repr__(self) -> str:
         return f"<Process({self.name}) object at 0x{id(self):x}>"

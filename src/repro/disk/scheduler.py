@@ -22,6 +22,8 @@ __all__ = ["DiskScheduler", "FCFSScheduler", "SSTFScheduler"]
 class DiskScheduler(ABC):
     """Holds queued :class:`DiskRequest` items and picks the next one."""
 
+    __slots__ = ()
+
     @abstractmethod
     def put(self, request: DiskRequest) -> None:
         """Enqueue a request."""
@@ -54,16 +56,20 @@ class DiskScheduler(ABC):
 class FCFSScheduler(DiskScheduler):
     """Priority classes served lowest-value first, FIFO within a class."""
 
+    __slots__ = ("_heap",)
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, DiskRequest]] = []
 
-    def put(self, request: DiskRequest) -> None:
-        heapq.heappush(self._heap, (request.priority, request.seq, request))
+    # put/pop run once per disk access on the simulator hot path; the
+    # default-arg bindings skip the module-attribute lookups.
+    def put(self, request: DiskRequest, _heappush=heapq.heappush) -> None:
+        _heappush(self._heap, (request.priority, request.seq, request))
 
-    def pop(self, current_cylinder: int) -> DiskRequest:
+    def pop(self, current_cylinder: int, _heappop=heapq.heappop) -> DiskRequest:
         if not self._heap:
             raise IndexError("pop from empty disk queue")
-        return heapq.heappop(self._heap)[2]
+        return _heappop(self._heap)[2]
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -80,6 +86,8 @@ class SSTFScheduler(DiskScheduler):
     class, so synchronous traffic still pre-empts background destage
     writes deterministically.
     """
+
+    __slots__ = ("_items", "_geometry")
 
     def __init__(self, geometry) -> None:
         self._items: list[DiskRequest] = []

@@ -43,7 +43,10 @@ def mg1_waiting_time(arrival_rate: float, service_mean: float, service_second_mo
     """
     if arrival_rate < 0 or service_mean <= 0:
         raise ValueError("rates and means must be positive")
-    if service_second_moment < service_mean**2:
+    # Compare against mean*mean, not mean**2: libm pow can land 1 ulp
+    # above the product callers compute as `mean * mean * (1 + scv)`,
+    # making a perfectly deterministic moment look "impossible".
+    if service_second_moment < service_mean * service_mean:
         raise ValueError("second moment below mean² is impossible")
     if arrival_rate == 0.0:
         # An empty arrival stream never queues; the second-moment term
@@ -96,7 +99,7 @@ def mg1_priority_waiting_times(
     for lam, mean, second in classes:
         if lam < 0 or mean <= 0:
             raise ValueError("rates and means must be positive")
-        if second < mean**2:
+        if second < mean * mean:
             raise ValueError("second moment below mean² is impossible")
         w0 += lam * second / 2.0
         rhos.append(lam * mean)
@@ -126,7 +129,7 @@ def mg1_vacation_waiting_time(
     """
     if vacation_mean <= 0:
         raise ValueError("vacation mean must be positive")
-    if vacation_second_moment < vacation_mean**2:
+    if vacation_second_moment < vacation_mean * vacation_mean:
         raise ValueError("second moment below mean² is impossible")
     base = mg1_waiting_time(arrival_rate, service_mean, service_second_moment)
     return base + vacation_second_moment / (2.0 * vacation_mean)

@@ -24,13 +24,14 @@ from repro.sim.config import SystemConfig
 from repro.sim.results import ArrayMetrics, RunResult
 from repro.sim.system import ArraySystem, build_system
 from repro.trace.record import Trace
+from repro.trace.synthetic import TraceStream
 
 __all__ = ["run_trace"]
 
 
 def run_trace(
     config: SystemConfig,
-    workload: Trace,
+    workload: Union[Trace, TraceStream],
     warmup_fraction: float = 0.1,
     keep_samples: bool = True,
     name: Optional[str] = None,
@@ -41,11 +42,23 @@ def run_trace(
     metrics_interval_ms: Optional[float] = None,
     backend: str = "des",
     failures=None,
+    warmup_ms: Optional[float] = None,
 ) -> RunResult:
     """Simulate *workload* on a system built from *config*.
 
     Parameters
     ----------
+    workload:
+        A materialized :class:`~repro.trace.record.Trace`, or a
+        :class:`~repro.trace.synthetic.TraceStream` — the streaming
+        source keeps only one chunk of requests resident, so 10M+
+        request runs stay memory-bounded.  A stream and its
+        :meth:`~repro.trace.synthetic.TraceStream.materialize`-d trace
+        run a bit-identical simulation; pass ``warmup_ms`` to also pin
+        the statistics cutoff (a stream's ``duration_ms`` is the nominal
+        target, a trace's the realized last arrival, so a *fractional*
+        warm-up resolves differently).  Streams require the DES backend
+        (the analytic solver characterizes a whole trace at once).
     backend:
         ``"des"`` (default) runs the discrete-event simulation;
         ``"analytic"`` solves the same question with the M/G/1 +
@@ -56,6 +69,9 @@ def run_trace(
     warmup_fraction:
         Fraction of the trace duration excluded from statistics while
         queues and caches warm up.
+    warmup_ms:
+        Absolute warm-up cutoff in milliseconds; overrides
+        ``warmup_fraction`` when given.
     keep_samples:
         Store every response time (enables percentiles; disable for very
         long runs).
@@ -98,6 +114,11 @@ def run_trace(
     if backend not in ("des", "analytic"):
         raise ValueError(f"unknown backend {backend!r}; expected 'des' or 'analytic'")
     if backend == "analytic":
+        if isinstance(workload, TraceStream):
+            raise ValueError(
+                "the analytic backend characterizes a whole trace at once; "
+                "materialize() the stream or use backend='des'"
+            )
         if failures is not None:
             from repro.analytic import AnalyticUnsupportedError
 
@@ -131,6 +152,8 @@ def run_trace(
         )
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if warmup_ms is not None and warmup_ms < 0:
+        raise ValueError("warmup_ms must be >= 0")
     if checkers is not None and not validate:
         raise ValueError("checkers were supplied but validate is False")
     controller_factory = None
@@ -154,7 +177,8 @@ def run_trace(
 
     env = Environment()
     system = build_system(env, config, narrays, controller_factory=controller_factory)
-    warmup_ms = workload.duration_ms * warmup_fraction
+    if warmup_ms is None:
+        warmup_ms = workload.duration_ms * warmup_fraction
 
     monitor = None
     if validate:
@@ -255,6 +279,10 @@ def run_trace(
             array_metrics.write_misses = cache.write_misses
             array_metrics.sync_writebacks = controller.sync_writebacks
             array_metrics.destaged_blocks = controller.destaged_blocks
+        plans = getattr(controller, "plans", None)
+        if plans is not None:
+            array_metrics.plan_hits = plans.hits
+            array_metrics.plan_misses = plans.misses
         result.arrays.append(array_metrics)
 
     # Tracer first: its detach restores the monitor's probes, which the
@@ -295,7 +323,7 @@ class _Progress:
 def _source(
     env: Environment,
     system: ArraySystem,
-    workload: Trace,
+    workload: Union[Trace, TraceStream],
     warmup_ms: float,
     result: RunResult,
     progress: "_Progress",
@@ -303,39 +331,53 @@ def _source(
     tracer=None,
     collector=None,
 ) -> Generator[Event, None, None]:
-    """Release requests at their trace arrival times."""
-    records = workload.records
-    # One bulk tolist() per column instead of a numpy scalar allocation
-    # per field access; the python floats/ints carry the same values.
-    times = records["time"].tolist()
-    lblocks = records["lblock"].tolist()
-    nblocks = records["nblocks"].tolist()
-    is_write = records["is_write"].tolist()
-    for i in range(len(records)):
-        t = times[i]
-        if t > env.now:
-            yield env.timeout(t - env.now)
-        if monitor is not None:
-            monitor.request_released(i, env.now)
-        lstart, span, write = lblocks[i], nblocks[i], is_write[i]
-        proc = env.process(
-            _request(
-                env,
-                system,
-                lstart,
-                span,
-                write,
-                warmup_ms,
-                result,
-                progress,
-                monitor,
-                i,
-                tracer,
-                collector,
+    """Release requests at their trace arrival times.
+
+    A materialized trace is treated as a single chunk, so the array and
+    streaming paths run the same release loop — per-request behaviour is
+    bit-identical between them by construction.  With a stream, only the
+    current chunk's columns are resident; the next chunk is generated
+    after the last request of this one has been released.
+    """
+    if isinstance(workload, Trace):
+        chunk_iter = iter((workload.records,))
+    else:
+        chunk_iter = workload.chunks()
+    rid = 0
+    for records in chunk_iter:
+        # One bulk tolist() per column instead of a numpy scalar
+        # allocation per field access; the python floats/ints carry the
+        # same values.
+        times = records["time"].tolist()
+        lblocks = records["lblock"].tolist()
+        nblocks = records["nblocks"].tolist()
+        is_write = records["is_write"].tolist()
+        for i in range(len(times)):
+            t = times[i]
+            if t > env.now:
+                yield env.timeout(t - env.now)
+            if monitor is not None:
+                monitor.request_released(rid, env.now)
+            lstart, span, write = lblocks[i], nblocks[i], is_write[i]
+            proc = env.process(
+                _request(
+                    env,
+                    system,
+                    lstart,
+                    span,
+                    write,
+                    warmup_ms,
+                    result,
+                    progress,
+                    monitor,
+                    rid,
+                    tracer,
+                    collector,
+                )
             )
-        )
-        if tracer is not None:
-            tracer.request_released(i, proc, lstart, span, write)
+            if tracer is not None:
+                tracer.request_released(rid, proc, lstart, span, write)
+            rid += 1
 
 
 def _request(

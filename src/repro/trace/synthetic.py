@@ -36,7 +36,13 @@ import numpy as np
 
 from repro.trace.record import TRACE_DTYPE, Trace
 
-__all__ = ["SyntheticTraceConfig", "generate_trace", "trace1_config", "trace2_config"]
+__all__ = [
+    "SyntheticTraceConfig",
+    "TraceStream",
+    "generate_trace",
+    "trace1_config",
+    "trace2_config",
+]
 
 #: Default logical-disk size: the largest block count that fits the
 #: Table-1 disk (226 800 blocks) while being divisible by every array
@@ -276,9 +282,10 @@ def _arrival_times(cfg: SyntheticTraceConfig, rng: np.random.Generator) -> np.nd
     return np.cumsum(iat)
 
 
-def _request_sizes(cfg: SyntheticTraceConfig, rng: np.random.Generator) -> np.ndarray:
+def _request_sizes(
+    cfg: SyntheticTraceConfig, rng: np.random.Generator, n: int
+) -> np.ndarray:
     """Single-block mostly; multi-block sizes 1 + geometric, clamped."""
-    n = cfg.n_requests
     sizes = np.ones(n, dtype=np.int32)
     multi = rng.random(n) < cfg.multiblock_fraction
     count = int(multi.sum())
@@ -324,81 +331,101 @@ def _va_disk_cdfs(
     return np.cumsum(read_p), np.cumsum(write_p)
 
 
-def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
-    """Generate a :class:`~repro.trace.record.Trace` from *cfg*.
+class _WorkloadState:
+    """Mutable generator state carried across requests (and chunks).
 
-    Deterministic for a given config (including the seed).
+    Holds everything the address loop and the chunked arrival process
+    thread from one request to the next: per-disk cursors and hot-region
+    origins, the temporal-locality ring buffers, the arrival clock and
+    the burst-episode position.  The full-trace and streaming paths share
+    this state (and :func:`_fill_addresses`), so their per-request
+    arithmetic is the same code.
     """
-    rng = np.random.default_rng(cfg.seed)
-    n = cfg.n_requests
+
+    __slots__ = (
+        "hot_size",
+        "hot_start",
+        "cursors",
+        "hw_origins",
+        "history",
+        "hist_pos",
+        "recent_reads",
+        "rr_pos",
+        "t_last",
+        "in_burst",
+        "burst_left",
+    )
+
+    def __init__(
+        self,
+        cfg: SyntheticTraceConfig,
+        hot_start: list,
+        cursors: list,
+        hw_origins: list,
+    ) -> None:
+        bpd = cfg.blocks_per_disk
+        self.hot_size = max(1, int(bpd * cfg.hot_spot_fraction))
+        self.hot_start = hot_start
+        self.cursors = cursors
+        self.hw_origins = hw_origins
+        self.history: list[int] = []  # recent block addresses (ring buffer)
+        self.hist_pos = 0
+        self.recent_reads: list[int] = []
+        self.rr_pos = 0
+        # Arrival-process carry (used by the streaming path only).
+        self.t_last = 0.0
+        self.in_burst = False
+        self.burst_left = 0
+
+    @classmethod
+    def draw(cls, cfg: SyntheticTraceConfig, rng: np.random.Generator) -> "_WorkloadState":
+        """Draw the per-disk state the way :func:`generate_trace` does."""
+        bpd = cfg.blocks_per_disk
+        hot_size = max(1, int(bpd * cfg.hot_spot_fraction))
+        hot_start = (rng.random(cfg.ndisks) * (bpd - hot_size)).astype(np.int64)
+        cursors = (rng.random(cfg.ndisks) * bpd).astype(np.int64)
+        hw_origins = np.zeros(0, dtype=np.int64)
+        if cfg.hot_write_runs:
+            span = cfg.ndisks * bpd - cfg.hot_write_run_blocks
+            hw_origins = (rng.random(cfg.hot_write_runs) * span).astype(np.int64)
+        return cls(cfg, hot_start.tolist(), cursors.tolist(), hw_origins.tolist())
+
+
+def _fill_addresses(
+    cfg: SyntheticTraceConfig,
+    state: _WorkloadState,
+    sizes_l: list,
+    is_write_l: list,
+    u_mode_l: list,
+    u_hot_l: list,
+    u_pos_l: list,
+    u_war_l: list,
+    u_hw_l: list,
+    pick_l: list,
+    stack_l: list,
+    disks_l: list,
+) -> list:
+    """The address loop: one logical address per request, given the
+    pre-drawn random streams, mutating *state* in place.
+
+    Inputs are plain Python lists — a scalar ndarray index allocates a
+    numpy scalar each access, which would dominate the loop's cost, and
+    Python float arithmetic is the same IEEE double arithmetic as the
+    numpy scalar ops it replaces, so every address is bit-identical.
+    """
+    n = len(sizes_l)
     bpd = cfg.blocks_per_disk
-
-    times = _arrival_times(cfg, rng)
-    sizes = _request_sizes(cfg, rng)
-    is_write = rng.random(n) < cfg.write_fraction
-    if cfg.va_disks:
-        read_cdf, write_cdf = _va_disk_cdfs(cfg, rng)
-    else:
-        disk_cdf = _disk_cdf(cfg, rng)
-
-    # Pre-drawn random streams for the address loop.
-    u_mode = rng.random(n)  # rehit / sequential / fresh choice
-    u_disk = rng.random(n)
-    u_hot = rng.random(n)
-    u_pos = rng.random(n)
-    u_war = rng.random(n)  # write-after-read
-    # Lognormal stack distances for re-references.
-    stack_mu = math.log(max(cfg.stack_median, 1.0))
-    stack_draw = np.exp(rng.normal(stack_mu, cfg.stack_sigma, size=n))
-    pick_idx = rng.random(n)
-
-    # Per-disk state: hot-region origin and sequential cursor.
-    hot_size = max(1, int(bpd * cfg.hot_spot_fraction))
-    hot_start = (rng.random(cfg.ndisks) * (bpd - hot_size)).astype(np.int64)
-    cursors = (rng.random(cfg.ndisks) * bpd).astype(np.int64)
-
-    # Update-intensive page runs (addresses across the whole database).
-    hw_origins = np.zeros(0, dtype=np.int64)
-    if cfg.hot_write_runs:
-        span = cfg.ndisks * bpd - cfg.hot_write_run_blocks
-        hw_origins = (rng.random(cfg.hot_write_runs) * span).astype(np.int64)
-    u_hw = rng.random(n)
-
-    history: list[int] = []  # recent block addresses (ring buffer)
-    hist_cap = cfg.rehit_window
-    hist_pos = 0
-    recent_reads: list[int] = []
-    rr_cap = cfg.recent_read_window
-    rr_pos = 0
-
-    if cfg.va_disks:
-        disks_of = np.where(
-            is_write,
-            np.searchsorted(write_cdf, u_disk),
-            np.searchsorted(read_cdf, u_disk),
-        )
-    else:
-        disks_of = np.searchsorted(disk_cdf, u_disk)
-
-    # The address loop indexes these streams once per request; a scalar
-    # ndarray index allocates a numpy scalar each time, which dominates
-    # the loop's cost.  Convert each stream to a plain list up front —
-    # Python float arithmetic is the same IEEE double arithmetic as the
-    # numpy scalar ops it replaces, so every address is bit-identical.
-    sizes_l = sizes.tolist()
-    is_write_l = is_write.tolist()
-    u_mode_l = u_mode.tolist()
-    u_hot_l = u_hot.tolist()
-    u_pos_l = u_pos.tolist()
-    u_war_l = u_war.tolist()
-    u_hw_l = u_hw.tolist()
-    pick_l = pick_idx.tolist()
-    stack_l = stack_draw.tolist()
-    disks_l = disks_of.tolist()
-    hot_start_l = hot_start.tolist()
-    cursors_l = cursors.tolist()
-    hw_origins_l = hw_origins.tolist()
+    hot_size = state.hot_size
+    hot_start_l = state.hot_start
+    cursors_l = state.cursors
+    hw_origins_l = state.hw_origins
     n_hw = len(hw_origins_l)
+    history = state.history
+    hist_cap = cfg.rehit_window
+    hist_pos = state.hist_pos
+    recent_reads = state.recent_reads
+    rr_cap = cfg.recent_read_window
+    rr_pos = state.rr_pos
     lblocks = [0] * n
 
     rehit_p = cfg.rehit_prob
@@ -471,9 +498,233 @@ def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
                 recent_reads[rr_pos] = addr
                 rr_pos = (rr_pos + 1) % rr_cap
 
+    state.hist_pos = hist_pos
+    state.rr_pos = rr_pos
+    return lblocks
+
+
+def generate_trace(cfg: SyntheticTraceConfig) -> Trace:
+    """Generate a :class:`~repro.trace.record.Trace` from *cfg*.
+
+    Deterministic for a given config (including the seed).
+    """
+    rng = np.random.default_rng(cfg.seed)
+    n = cfg.n_requests
+    bpd = cfg.blocks_per_disk
+
+    times = _arrival_times(cfg, rng)
+    sizes = _request_sizes(cfg, rng, n)
+    is_write = rng.random(n) < cfg.write_fraction
+    if cfg.va_disks:
+        read_cdf, write_cdf = _va_disk_cdfs(cfg, rng)
+    else:
+        disk_cdf = _disk_cdf(cfg, rng)
+
+    # Pre-drawn random streams for the address loop.
+    u_mode = rng.random(n)  # rehit / sequential / fresh choice
+    u_disk = rng.random(n)
+    u_hot = rng.random(n)
+    u_pos = rng.random(n)
+    u_war = rng.random(n)  # write-after-read
+    # Lognormal stack distances for re-references.
+    stack_mu = math.log(max(cfg.stack_median, 1.0))
+    stack_draw = np.exp(rng.normal(stack_mu, cfg.stack_sigma, size=n))
+    pick_idx = rng.random(n)
+
+    # Per-disk state: hot-region origin and sequential cursor (plus the
+    # update-intensive page runs), drawn in the historical order.
+    state = _WorkloadState.draw(cfg, rng)
+    u_hw = rng.random(n)
+
+    if cfg.va_disks:
+        disks_of = np.where(
+            is_write,
+            np.searchsorted(write_cdf, u_disk),
+            np.searchsorted(read_cdf, u_disk),
+        )
+    else:
+        disks_of = np.searchsorted(disk_cdf, u_disk)
+
+    lblocks = _fill_addresses(
+        cfg,
+        state,
+        sizes.tolist(),
+        is_write.tolist(),
+        u_mode.tolist(),
+        u_hot.tolist(),
+        u_pos.tolist(),
+        u_war.tolist(),
+        u_hw.tolist(),
+        pick_idx.tolist(),
+        stack_draw.tolist(),
+        disks_of.tolist(),
+    )
+
     records = np.empty(n, dtype=TRACE_DTYPE)
     records["time"] = times
     records["lblock"] = lblocks
     records["nblocks"] = sizes
     records["is_write"] = is_write
     return Trace(records, cfg.ndisks, bpd, name=cfg.name)
+
+
+# ---------------------------------------------------------------------------
+# Streaming generation
+# ---------------------------------------------------------------------------
+
+
+def _chunk_arrivals(
+    cfg: SyntheticTraceConfig,
+    rng: np.random.Generator,
+    state: _WorkloadState,
+    count: int,
+) -> np.ndarray:
+    """Next *count* arrival times, carrying the burst episode and clock.
+
+    The same 2-state modulated Poisson process as :func:`_arrival_times`,
+    generated incrementally: the current episode's phase and remaining
+    length live in *state*, so chunk boundaries fall anywhere within an
+    episode without changing the process.
+    """
+    mean_iat = cfg.duration_ms / cfg.n_requests
+    f, m = cfg.burst_fraction, cfg.burst_rate_multiplier
+
+    iat = rng.exponential(1.0, size=count)
+    if f <= 0.0 or m == 1.0:
+        iat *= mean_iat
+    else:
+        mu_b = mean_iat / m
+        mu_n = mean_iat * (1.0 - f / m) / (1.0 - f)
+        flags = np.empty(count, dtype=bool)
+        normal_mean = cfg.burst_mean_length * (1.0 - f) / f
+        pos = 0
+        while pos < count:
+            if state.burst_left == 0:
+                mean_len = cfg.burst_mean_length if state.in_burst else normal_mean
+                state.burst_left = 1 + rng.geometric(1.0 / max(mean_len, 1.0))
+            take = min(state.burst_left, count - pos)
+            flags[pos : pos + take] = state.in_burst
+            state.burst_left -= take
+            pos += take
+            if state.burst_left == 0:
+                state.in_burst = not state.in_burst
+        iat *= np.where(flags, mu_b, mu_n)
+
+    times = state.t_last + np.cumsum(iat)
+    state.t_last = float(times[-1])
+    return times
+
+
+class TraceStream:
+    """Chunked synthetic trace source with O(chunk) resident memory.
+
+    Yields the workload as a sequence of :data:`TRACE_DTYPE` record
+    arrays instead of materializing all ``n_requests`` at once, so
+    multi-million-request campaigns run in bounded memory and numpy
+    block generation overlaps simulation.
+
+    Determinism: a stream is bit-for-bit reproducible for a given
+    ``(config, chunk_requests)`` pair, and :meth:`chunks` is
+    re-iterable — every iteration restarts the generator from the seed
+    and produces identical records.  The random streams are drawn
+    per-chunk, so the request sequence is a *different* (equally
+    calibrated) realization than :func:`generate_trace`'s whole-trace
+    draw order — use one source or the other for a given experiment,
+    not both.  :meth:`materialize` builds the equivalent
+    :class:`~repro.trace.record.Trace` (O(n) memory, for tests and
+    cross-checks); a simulation fed the stream and one fed that
+    materialization see identical requests.
+    """
+
+    def __init__(self, config: SyntheticTraceConfig, chunk_requests: int = 65536) -> None:
+        if chunk_requests < 1:
+            raise ValueError("chunk_requests must be >= 1")
+        self.config = config
+        self.chunk_requests = int(chunk_requests)
+        self.name = config.name
+        self.ndisks = config.ndisks
+        self.blocks_per_disk = config.blocks_per_disk
+        self.n_requests = config.n_requests
+        #: Nominal workload duration (the arrival process targets it;
+        #: the realized last arrival differs by sampling noise).
+        self.duration_ms = config.duration_ms
+
+    def __len__(self) -> int:
+        return self.n_requests
+
+    def chunks(self):
+        """Yield :data:`TRACE_DTYPE` record arrays of ``chunk_requests``
+        rows (the last one shorter), restarting from the seed."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        if cfg.va_disks:
+            read_cdf, write_cdf = _va_disk_cdfs(cfg, rng)
+        else:
+            read_cdf, write_cdf = _disk_cdf(cfg, rng), None
+        state = _WorkloadState.draw(cfg, rng)
+
+        stack_mu = math.log(max(cfg.stack_median, 1.0))
+        remaining = cfg.n_requests
+        while remaining > 0:
+            count = min(self.chunk_requests, remaining)
+            remaining -= count
+
+            times = _chunk_arrivals(cfg, rng, state, count)
+            sizes = _request_sizes(cfg, rng, count)
+            is_write = rng.random(count) < cfg.write_fraction
+            u_mode = rng.random(count)
+            u_disk = rng.random(count)
+            u_hot = rng.random(count)
+            u_pos = rng.random(count)
+            u_war = rng.random(count)
+            stack_draw = np.exp(rng.normal(stack_mu, cfg.stack_sigma, size=count))
+            pick_idx = rng.random(count)
+            u_hw = rng.random(count)
+
+            if write_cdf is not None:
+                disks_of = np.where(
+                    is_write,
+                    np.searchsorted(write_cdf, u_disk),
+                    np.searchsorted(read_cdf, u_disk),
+                )
+            else:
+                disks_of = np.searchsorted(read_cdf, u_disk)
+
+            lblocks = _fill_addresses(
+                cfg,
+                state,
+                sizes.tolist(),
+                is_write.tolist(),
+                u_mode.tolist(),
+                u_hot.tolist(),
+                u_pos.tolist(),
+                u_war.tolist(),
+                u_hw.tolist(),
+                pick_idx.tolist(),
+                stack_draw.tolist(),
+                disks_of.tolist(),
+            )
+
+            records = np.empty(count, dtype=TRACE_DTYPE)
+            records["time"] = times
+            records["lblock"] = lblocks
+            records["nblocks"] = sizes
+            records["is_write"] = is_write
+            yield records
+
+    def materialize(self) -> Trace:
+        """Concatenate all chunks into a :class:`~repro.trace.record.Trace`.
+
+        O(n) memory — defeats the point of streaming; exists so tests
+        can prove stream-fed and array-fed runs are bit-identical.
+        """
+        records = np.concatenate(list(self.chunks()))
+        return Trace(
+            records, self.ndisks, self.blocks_per_disk, name=self.name
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TraceStream {self.name!r}: {self.n_requests} requests "
+            f"in chunks of {self.chunk_requests}>"
+        )

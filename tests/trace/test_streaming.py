@@ -1,0 +1,87 @@
+"""TraceStream: the chunked generator source for synthetic workloads.
+
+A stream is deterministic for a given ``(config, chunk_requests)`` pair
+and re-iterable — two passes over ``chunks()`` must produce the same
+bytes, and ``materialize()`` must equal the concatenation of one pass.
+(The draw order is chunked, so a stream is *not* byte-identical to the
+legacy one-shot ``generate_trace`` — it is its own deterministic
+workload; the run-level equivalence lives in ``tests/sim``.)
+"""
+
+import numpy as np
+
+from repro.trace.record import TRACE_DTYPE, Trace
+from repro.trace.synthetic import TraceStream, trace2_config
+
+CFG = trace2_config(scale=0.02)  # ~1.4k requests over 10 disks
+CHUNK = 256
+
+
+def _drain(stream):
+    return list(stream.chunks())
+
+
+class TestChunking:
+    def test_chunk_sizes_and_total(self):
+        stream = TraceStream(CFG, chunk_requests=CHUNK)
+        chunks = _drain(stream)
+        assert all(len(c) == CHUNK for c in chunks[:-1])
+        assert 0 < len(chunks[-1]) <= CHUNK
+        assert sum(len(c) for c in chunks) == CFG.n_requests == len(stream)
+
+    def test_chunks_are_trace_dtype(self):
+        stream = TraceStream(CFG, chunk_requests=CHUNK)
+        for chunk in stream.chunks():
+            assert chunk.dtype == TRACE_DTYPE
+
+    def test_addresses_and_sizes_in_range(self):
+        stream = TraceStream(CFG, chunk_requests=CHUNK)
+        logical = CFG.ndisks * CFG.blocks_per_disk
+        for chunk in stream.chunks():
+            assert chunk["nblocks"].min() >= 1
+            assert chunk["lblock"].min() >= 0
+            assert (chunk["lblock"] + chunk["nblocks"]).max() <= logical
+
+    def test_arrival_times_increase_across_chunk_boundaries(self):
+        stream = TraceStream(CFG, chunk_requests=CHUNK)
+        times = np.concatenate([c["time"] for c in stream.chunks()])
+        assert np.all(np.diff(times) > 0)
+
+
+class TestDeterminism:
+    def test_reiteration_is_bit_identical(self):
+        stream = TraceStream(CFG, chunk_requests=CHUNK)
+        first = np.concatenate(_drain(stream))
+        second = np.concatenate(_drain(stream))
+        assert first.tobytes() == second.tobytes()
+
+    def test_two_streams_same_key_are_bit_identical(self):
+        a = np.concatenate(_drain(TraceStream(CFG, chunk_requests=CHUNK)))
+        b = np.concatenate(_drain(TraceStream(CFG, chunk_requests=CHUNK)))
+        assert a.tobytes() == b.tobytes()
+
+    def test_materialize_equals_one_pass(self):
+        stream = TraceStream(CFG, chunk_requests=CHUNK)
+        drained = np.concatenate(_drain(stream))
+        trace = stream.materialize()
+        assert isinstance(trace, Trace)
+        assert trace.records.tobytes() == drained.tobytes()
+        assert trace.ndisks == stream.ndisks
+        assert trace.blocks_per_disk == stream.blocks_per_disk
+
+    def test_different_seed_differs(self):
+        from dataclasses import replace
+
+        a = np.concatenate(_drain(TraceStream(CFG, chunk_requests=CHUNK)))
+        b = np.concatenate(
+            _drain(TraceStream(replace(CFG, seed=CFG.seed + 1), chunk_requests=CHUNK))
+        )
+        assert a.tobytes() != b.tobytes()
+
+
+class TestStreamMetadata:
+    def test_nominal_duration_and_len(self):
+        stream = TraceStream(CFG, chunk_requests=CHUNK)
+        assert stream.duration_ms == CFG.duration_ms
+        assert len(stream) == CFG.n_requests
+        assert stream.name == CFG.name
